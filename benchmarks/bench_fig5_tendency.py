@@ -1,0 +1,35 @@
+"""Figure 5: temporal tendency curves on DBLP (15 timestamps, 6 panels).
+
+Prints the per-timestamp log(statistic) series for the original graph and
+each generator, plus the mean log-space deviation per method -- the scalar
+summary of "which curve hugs the blue Origin curve".
+"""
+
+from repro.bench import (
+    FIGURE5_METRICS,
+    render_tendency,
+    tendency_fit_error,
+    tendency_series,
+)
+
+METHODS = ["TGAE", "TIGGER", "TagGen", "NetGAN", "VGAE", "E-R", "B-A"]
+
+
+def bench_fig5_tendency(benchmark, dblp, bench_config):
+    data = benchmark.pedantic(
+        lambda: tendency_series(dblp, methods=METHODS, tgae_config=bench_config),
+        rounds=1,
+        iterations=1,
+    )
+    for metric in FIGURE5_METRICS:
+        print(f"\n=== Figure 5 panel: {metric} (log scale) ===")
+        print(render_tendency(data, metric))
+        errors = tendency_fit_error(data, metric)
+        ranked = sorted(errors.items(), key=lambda kv: kv[1])
+        print("fit error (mean |log deviation|): "
+              + ", ".join(f"{m}={e:.3f}" for m, e in ranked))
+    # Shape claim: TGAE fits the wedge/claw curves better than E-R
+    # (Fig. 5 (b)/(c) in the paper).
+    for metric in ("wedge_count", "claw_count"):
+        errors = tendency_fit_error(data, metric)
+        assert errors["TGAE"] < errors["E-R"], (metric, errors)

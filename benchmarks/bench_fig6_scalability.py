@@ -1,0 +1,79 @@
+"""Figure 6: scalability -- inference time and peak memory on the N*T*density grid.
+
+Three sweeps (nodes, timestamps, density) at a reduced base scale.  Prints
+the log-time and log-memory tables matching the paper's six panels, and
+asserts the headline growth shape: the dense auto-encoder family's memory
+grows super-linearly in node count while TGAE stays near-linear.
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    ErdosRenyiGenerator,
+    TagGenGenerator,
+    TiggerGenerator,
+    VGAEGenerator,
+)
+from repro.bench import render_sweep, sweep
+from repro.core import fast_config
+from repro.core.variants import tgae_full
+from repro.datasets import (
+    density_scale_sweep,
+    node_scale_sweep,
+    timestamp_scale_sweep,
+)
+
+BASE_NODES = 120
+STEPS = 3
+
+
+def _methods():
+    config = fast_config(epochs=3, num_initial_nodes=24)
+    return {
+        "TGAE": lambda: tgae_full(config),
+        "TIGGER": lambda: TiggerGenerator(epochs=2, num_walks=100),
+        "TagGen": lambda: TagGenGenerator(num_walks=150, disc_epochs=2),
+        "VGAE": lambda: VGAEGenerator(epochs=5),
+        "E-R": ErdosRenyiGenerator,
+    }
+
+
+def _run_and_print(benchmark, points, title):
+    results = benchmark.pedantic(
+        lambda: sweep(points, methods=_methods()), rounds=1, iterations=1
+    )
+    print(f"\n=== Figure 6: {title} -- log(inference time / s) ===")
+    print(render_sweep(results, quantity="time"))
+    print(f"\n=== Figure 6: {title} -- log(peak memory / MiB) ===")
+    print(render_sweep(results, quantity="memory"))
+    return results
+
+
+def bench_fig6_node_scale(benchmark):
+    points = node_scale_sweep(base_nodes=BASE_NODES, steps=STEPS)
+    results = _run_and_print(benchmark, points, "node scale")
+    # Memory growth factor from smallest to largest grid point.
+    def growth(name):
+        series = [m.peak_memory_bytes for m in results[name]]
+        return series[-1] / max(series[0], 1)
+
+    vgae_growth = growth("VGAE")
+    tgae_growth = growth("TGAE")
+    print(f"\nmemory growth x{STEPS} nodes: VGAE={vgae_growth:.1f}x TGAE={tgae_growth:.1f}x")
+    # Dense n x n scores must grow faster than TGAE's sparse structures.
+    assert vgae_growth > tgae_growth
+
+
+def bench_fig6_timestamp_scale(benchmark):
+    points = timestamp_scale_sweep(base_nodes=BASE_NODES, steps=STEPS)
+    results = _run_and_print(benchmark, points, "timestamp scale")
+    # All methods must complete every grid point.
+    assert all(len(series) == STEPS for series in results.values())
+
+
+def bench_fig6_density_scale(benchmark):
+    points = density_scale_sweep(base_nodes=BASE_NODES, steps=STEPS)
+    results = _run_and_print(benchmark, points, "edge density scale")
+    for name, series in results.items():
+        times = [m.inference_seconds for m in series]
+        assert all(np.isfinite(times)), name

@@ -1,0 +1,65 @@
+"""Parameter-sensitivity experiments (Sec. V-D companion).
+
+Sweeps the quality/efficiency trade-off knobs the paper discusses: the
+number of sampled initial nodes ``n_s`` (Eq. 7), the ego-graph radius ``k``,
+and the neighbour threshold ``th`` (Alg. 1).
+"""
+
+from repro.bench import render_sensitivity, sweep_parameter
+from repro.core import fast_config
+
+BASE = fast_config(epochs=60, num_initial_nodes=32)
+
+
+def bench_sensitivity_initial_nodes(benchmark, dblp):
+    points = benchmark.pedantic(
+        lambda: sweep_parameter(dblp, BASE, "num_initial_nodes", [8, 16, 32, 64]),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Sensitivity: n_s (initial nodes per step) ===")
+    print(render_sensitivity(points))
+    # Larger n_s must not make training *slower per epoch* than tiny n_s by
+    # an unreasonable factor, and quality should not collapse.
+    assert all(p.mean_error < 5.0 for p in points)
+
+
+def bench_sensitivity_radius(benchmark, dblp):
+    points = benchmark.pedantic(
+        lambda: sweep_parameter(dblp, BASE, "radius", [1, 2, 3]),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Sensitivity: k (ego-graph radius) ===")
+    print(render_sensitivity(points))
+    # Deeper ego-graphs cost more time to fit.
+    assert points[-1].fit_seconds >= points[0].fit_seconds * 0.5
+
+
+def bench_sensitivity_threshold(benchmark, dblp):
+    points = benchmark.pedantic(
+        lambda: sweep_parameter(dblp, BASE, "neighbor_threshold", [2, 5, 10, 20]),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Sensitivity: th (neighbour truncation) ===")
+    print(render_sensitivity(points))
+    assert len(points) == 4
+
+
+def bench_ablation_time_encoding(benchmark, dblp):
+    """Design-choice ablation: sinusoidal time encoding on/off/width.
+
+    ``time_dim = 0`` removes temporal conditioning from the attention
+    layers entirely (DESIGN.md calls this out as the mechanism by which the
+    encoder sees time); wider encodings give the heads finer temporal
+    resolution at slightly higher cost.
+    """
+    points = benchmark.pedantic(
+        lambda: sweep_parameter(dblp, BASE, "time_dim", [0, 4, 8]),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Ablation: time-encoding width (0 = disabled) ===")
+    print(render_sensitivity(points))
+    assert [p.value for p in points] == [0, 4, 8]

@@ -1,0 +1,72 @@
+"""Extension benchmark: dense decoder vs sampled-softmax candidate decoder.
+
+The candidate decoder (``candidate_limit > 0``) implements the paper's
+future-work direction ("scale the learning-based approaches to simulate
+large graphs"): decoding cost per centre drops from O(n) to O(C).  This
+bench compares quality and fit time of the two decoders on the same data
+and verifies the sparse decoder's time advantage grows with node count.
+"""
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.core import TGAEGenerator, fast_config
+from repro.datasets import ScalabilityPoint, make_scalability_graph
+from repro.metrics import compare_graphs
+
+DENSE = fast_config(epochs=15, num_initial_nodes=24)
+SPARSE = dataclasses.replace(DENSE, candidate_limit=16)
+
+
+def _fit_time(config, graph):
+    start = time.perf_counter()
+    generator = TGAEGenerator(config).fit(graph)
+    elapsed = time.perf_counter() - start
+    return generator, elapsed
+
+
+def bench_sparse_decoder_quality(benchmark, dblp):
+    def run():
+        dense_gen, dense_time = _fit_time(DENSE, dblp)
+        sparse_gen, sparse_time = _fit_time(SPARSE, dblp)
+        dense_scores = compare_graphs(dblp, dense_gen.generate(seed=0), reduction="mean")
+        sparse_scores = compare_graphs(dblp, sparse_gen.generate(seed=0), reduction="mean")
+        return dense_scores, sparse_scores, dense_time, sparse_time
+
+    dense_scores, sparse_scores, dense_time, sparse_time = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print("\n=== Dense vs sampled-softmax decoder (DBLP) ===")
+    print(f"{'metric':16s} {'dense':>10s} {'sparse':>10s}")
+    for metric in dense_scores:
+        print(f"{metric:16s} {dense_scores[metric]:10.3f} {sparse_scores[metric]:10.3f}")
+    print(f"fit time: dense {dense_time:.2f}s, sparse {sparse_time:.2f}s")
+    # The sparse approximation must stay within a reasonable quality band.
+    assert np.mean(list(sparse_scores.values())) < np.mean(
+        list(dense_scores.values())
+    ) + 1.0
+
+
+def bench_sparse_decoder_scaling(benchmark):
+    """Fit-time ratio dense/sparse must not shrink as the universe grows."""
+
+    def run():
+        ratios = []
+        for n in (150, 450):
+            graph = make_scalability_graph(ScalabilityPoint(n, 6, 0.01))
+            config_d = dataclasses.replace(DENSE, epochs=4)
+            config_s = dataclasses.replace(SPARSE, epochs=4)
+            _, dense_time = _fit_time(config_d, graph)
+            _, sparse_time = _fit_time(config_s, graph)
+            ratios.append((n, dense_time, sparse_time))
+        return ratios
+
+    ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Sparse-decoder scaling ===")
+    print(f"{'nodes':>8s} {'dense s':>9s} {'sparse s':>9s} {'speedup':>8s}")
+    for n, dense_time, sparse_time in ratios:
+        print(f"{n:8d} {dense_time:9.2f} {sparse_time:9.2f} "
+              f"{dense_time / max(sparse_time, 1e-9):8.2f}")
+    assert len(ratios) == 2

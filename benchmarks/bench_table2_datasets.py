@@ -1,0 +1,34 @@
+"""Table II: dataset statistics.
+
+Prints the nodes/edges/timestamps of every dataset stand-in at benchmark
+scale next to the paper's full-scale numbers, and benchmarks dataset
+materialisation (the synthetic generators).
+"""
+
+from repro.bench import dataset_table
+from repro.datasets import DATASETS, available_datasets, load_dataset
+
+
+def bench_table2(benchmark):
+    table = benchmark.pedantic(
+        lambda: dataset_table(available_datasets(), scale="small"),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Table II: dataset statistics (small scale vs paper scale) ===")
+    print(f"{'dataset':12s} {'nodes':>8s} {'edges':>8s} {'T':>5s}   "
+          f"{'paper n':>9s} {'paper m':>9s} {'paper T':>8s}")
+    for name, stats in table.items():
+        spec = DATASETS[name]
+        print(
+            f"{name:12s} {stats['nodes']:8d} {stats['edges']:8d} "
+            f"{stats['timestamps']:5d}   {spec.num_nodes:9d} "
+            f"{spec.num_edges:9d} {spec.num_timestamps:8d}"
+        )
+    assert set(table) == set(available_datasets())
+
+
+def bench_dataset_generation_speed(benchmark):
+    """Materialisation cost of the largest small-scale stand-in."""
+    graph = benchmark(lambda: load_dataset("MSG", scale="small"))
+    assert graph.num_edges > 0

@@ -1,0 +1,49 @@
+"""Table VII: ablation study over the TGAE variants (Sec. IV-F).
+
+Reports the Degree (mean-degree relative error) and Motif (MMD) scores for
+the full model and the four ablations on MSG and the Bitcoin stand-ins.
+The paper's shape claim: the full TGAE is best, and TGAE-g (random-walk
+sampling) degrades the most.
+"""
+
+from repro.bench import ablation_table, format_value
+
+VARIANT_ORDER = ["TGAE", "TGAE-g", "TGAE-t", "TGAE-n", "TGAE-p"]
+
+
+def _print(dataset, table):
+    print(f"\n=== Table VII ({dataset}) ===")
+    print(f"{'metric':8s}" + "".join(v.rjust(10) for v in VARIANT_ORDER))
+    for metric, row in table.items():
+        print(f"{metric:8s}" + "".join(format_value(row[v]).rjust(10) for v in VARIANT_ORDER))
+
+
+def bench_table7_msg(benchmark, msg, bench_config):
+    table = benchmark.pedantic(
+        lambda: ablation_table(msg, config=bench_config, delta=2),
+        rounds=1,
+        iterations=1,
+    )
+    _print("MSG", table)
+    assert set(table["degree"]) == set(VARIANT_ORDER)
+    assert all(v >= 0 for row in table.values() for v in row.values())
+
+
+def bench_table7_bitcoin_a(benchmark, bitcoin_a, bench_config):
+    table = benchmark.pedantic(
+        lambda: ablation_table(bitcoin_a, config=bench_config, delta=2),
+        rounds=1,
+        iterations=1,
+    )
+    _print("BITCOIN-A", table)
+    assert set(table["motif"]) == set(VARIANT_ORDER)
+
+
+def bench_table7_bitcoin_o(benchmark, bitcoin_o, bench_config):
+    table = benchmark.pedantic(
+        lambda: ablation_table(bitcoin_o, config=bench_config, delta=2),
+        rounds=1,
+        iterations=1,
+    )
+    _print("BITCOIN-O", table)
+    assert set(table["degree"]) == set(VARIANT_ORDER)

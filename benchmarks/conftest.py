@@ -1,0 +1,56 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced ("small") dataset scale so the whole suite finishes in minutes on a
+CPU.  Absolute numbers therefore differ from the paper (V100 + full-scale
+data); the *shape* of the comparisons is what is asserted and reported --
+see EXPERIMENTS.md for the paper-vs-measured record.
+
+Run with:
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import fast_config
+from repro.datasets import load_dataset
+
+#: Methods exercised by the quality benchmarks.  The full registry (11
+#: methods) is used for the headline tables; benches that need to stay fast
+#: use this subset.
+FAST_METHODS = ["TGAE", "TIGGER", "TagGen", "E-R", "B-A", "VGAE"]
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    """TGAE configuration for benchmark runs (trains to a useful optimum
+    in a few seconds on CPU)."""
+    return fast_config(epochs=120, num_initial_nodes=64, learning_rate=1e-2)
+
+
+@pytest.fixture(scope="session")
+def dblp():
+    return load_dataset("DBLP", scale="small")
+
+
+@pytest.fixture(scope="session")
+def msg():
+    return load_dataset("MSG", scale="small")
+
+
+@pytest.fixture(scope="session")
+def math_graph():
+    return load_dataset("MATH", scale="small")
+
+
+@pytest.fixture(scope="session")
+def bitcoin_a():
+    return load_dataset("BITCOIN-A", scale="small")
+
+
+@pytest.fixture(scope="session")
+def bitcoin_o():
+    return load_dataset("BITCOIN-O", scale="small")

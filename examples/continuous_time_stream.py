@@ -1,0 +1,93 @@
+"""Scenario: simulating a raw timestamped event stream end to end.
+
+Production temporal-graph data rarely arrives pre-binned: message logs,
+transactions and API calls carry raw (continuous) timestamps.  Sec. III of
+the paper notes the snapshot-based method "can be extended to process and
+generate graphs that reflect the temporal changes among all time stamps" --
+this example runs that extension:
+
+1. build a bursty continuous-time message stream (events cluster in
+   sessions separated by silences, like real communication logs);
+2. fit a `ContinuousTimeGenerator` wrapping TGAE -- it bins the stream,
+   trains on snapshots, and learns each bin's empirical within-bin arrival
+   profile;
+3. generate a synthetic *event stream* (raw float timestamps, not bins);
+4. verify the temporal texture survived: burstiness and memory coefficient
+   of the synthetic stream vs the observed one, against a uniform-smear
+   strawman.
+
+    python examples/continuous_time_stream.py
+"""
+
+import numpy as np
+
+from repro.core import ContinuousTimeGenerator, TGAEGenerator, fast_config
+from repro.graph import (
+    EventStream,
+    burstiness,
+    from_temporal_graph,
+    inter_event_times,
+    memory_coefficient,
+)
+
+
+def make_message_stream(num_nodes=40, sessions=12, msgs_per_session=40, seed=0):
+    """Messages arrive in tight sessions separated by long silences."""
+    rng = np.random.default_rng(seed)
+    src, dst, times = [], [], []
+    for session in range(sessions):
+        start = session * 50.0 + rng.uniform(0.0, 5.0)
+        participants = rng.choice(num_nodes, size=6, replace=False)
+        clock = start
+        for _ in range(msgs_per_session):
+            u, v = rng.choice(participants, size=2, replace=False)
+            clock += float(rng.exponential(0.05))
+            src.append(int(u))
+            dst.append(int(v))
+            times.append(clock)
+    return EventStream(num_nodes, src, dst, times)
+
+
+def texture(stream):
+    gaps = inter_event_times(stream)
+    return burstiness(gaps), memory_coefficient(gaps)
+
+
+def main() -> None:
+    observed = make_message_stream()
+    obs_b, obs_m = texture(observed)
+    print(f"observed stream: {observed}")
+    print(f"  span {observed.duration:.1f}s, burstiness {obs_b:+.3f}, "
+          f"memory {obs_m:+.3f}")
+
+    print("\nfitting ContinuousTimeGenerator(TGAE), 12 bins...")
+    generator = ContinuousTimeGenerator(
+        TGAEGenerator(fast_config(epochs=15)), num_bins=12
+    ).fit(observed)
+    synthetic = generator.generate(seed=5)
+    syn_b, syn_m = texture(synthetic)
+    print(f"synthetic stream: {synthetic}")
+    print(f"  burstiness {syn_b:+.3f}, memory {syn_m:+.3f}")
+
+    # Strawman: same binned structure, but times smeared uniformly per bin.
+    binned = observed.to_temporal_graph(12)
+    smeared = from_temporal_graph(
+        binned, bin_width=observed.duration / 12, spread="uniform", seed=5
+    )
+    smear_b, _ = texture(smeared)
+
+    print("\nburstiness preservation (closer to observed is better):")
+    print(f"  observed        {obs_b:+.3f}")
+    print(f"  TGAE continuous {syn_b:+.3f}  (gap {abs(syn_b - obs_b):.3f})")
+    print(f"  uniform smear   {smear_b:+.3f}  (gap {abs(smear_b - obs_b):.3f})")
+
+    if abs(syn_b - obs_b) < abs(smear_b - obs_b):
+        print("\nthe empirical-offset lift preserved the bursty texture the "
+              "uniform smear destroys")
+    else:
+        print("\nnote: on this draw the uniform smear happened to match "
+              "burstiness better; rerun with another seed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Scenario: sharing a synthetic graph instead of private transaction data.
+
+The paper motivates graph simulation with the inaccessibility of real-life
+graphs: a bank cannot share its transaction network, but it *can* share a
+synthetic one with the same structural and temporal properties.  The
+decisive question for the recipient is whether analyses developed on the
+synthetic graph transfer to the real one.
+
+This example runs that protocol end to end on the BITCOIN-A trust network:
+
+1. fit TGAE on the real (observed) graph;
+2. generate a synthetic graph -- this is what would be shared;
+3. a "recipient" builds a link predictor using only the synthetic history
+   and is evaluated on the real graph's held-out final timestamp;
+4. compare against the oracle (same predictor built on the real history)
+   and a degree-matched null model (RTGEN baseline).
+
+The smaller the real-vs-synthetic AUC gap, the more analysis value the
+shared graph retains.
+
+    python examples/data_sharing_utility.py
+"""
+
+from repro.baselines import RTGenGenerator
+from repro.core import TGAEGenerator, fast_config
+from repro.datasets import load_dataset
+from repro.metrics import downstream_link_prediction_auc, utility_report
+
+
+def main() -> None:
+    observed = load_dataset("BITCOIN-A", scale="small")
+    print(f"private transaction network: {observed}")
+
+    print("\nfitting TGAE on the private graph...")
+    tgae = TGAEGenerator(fast_config(epochs=20)).fit(observed)
+    shared_tgae = tgae.generate(seed=11)
+
+    print("fitting degree-matched null model (RTGEN)...")
+    shared_null = RTGenGenerator().fit(observed).generate(seed=11)
+
+    holdout = observed.num_timestamps - 1
+    print(f"\nheld-out timestamp: t={holdout} "
+          f"(recipient never sees these real edges)")
+
+    report = utility_report(observed, shared_tgae, holdout_t=holdout)
+    print("\ntrain-on-synthetic vs train-on-real link prediction AUC (TGAE):")
+    print(f"{'scorer':26s} {'real':>7s} {'synthetic':>10s} {'gap':>7s}")
+    for scorer, row in report.items():
+        print(f"{scorer:26s} {row['real']:7.3f} {row['synthetic']:10.3f} "
+              f"{row['gap']:7.3f}")
+
+    null_auc = downstream_link_prediction_auc(
+        shared_null, observed, holdout_t=holdout, scorer="common_neighbors"
+    )
+    tgae_auc = report["common_neighbors"]["synthetic"]
+    oracle_auc = report["common_neighbors"]["real"]
+    print(f"\ncommon-neighbors AUC: oracle {oracle_auc:.3f} | "
+          f"TGAE-shared {tgae_auc:.3f} | degree-null {null_auc:.3f}")
+
+    retained = (tgae_auc - 0.5) / max(oracle_auc - 0.5, 1e-9)
+    print(f"TGAE-shared graph retains {retained:.0%} of the oracle's "
+          f"above-chance signal")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Scenario: generating synthetic contact networks for epidemic modelling.
+
+The paper's introduction lists pandemic trajectory generation among the
+applications of temporal graph simulation.  Epidemic simulations need
+contact networks whose *temporal* structure is right: infection spreads
+along time-respecting paths, so a generator that shuffles timestamps changes
+the epidemic outcome even if every static statistic matches.
+
+This example fits TGAE on a bursty communication network (a proxy for
+proximity contacts), simulates a synthetic contact network, runs an SI
+(susceptible-infected) process over both, and compares the epidemic curves.
+
+    python examples/epidemic_contact_network.py
+"""
+
+import numpy as np
+
+from repro.core import TGAEGenerator, fast_config
+from repro.datasets import load_dataset
+from repro.graph import TemporalGraph
+
+
+def si_process(graph: TemporalGraph, patient_zero: int, beta: float, seed: int) -> np.ndarray:
+    """Run a discrete-time SI epidemic along time-respecting edges.
+
+    Returns the cumulative number of infected nodes after each timestamp.
+    """
+    rng = np.random.default_rng(seed)
+    infected = np.zeros(graph.num_nodes, dtype=bool)
+    infected[patient_zero] = True
+    curve = np.zeros(graph.num_timestamps, dtype=np.int64)
+    for timestamp, src, dst in graph.snapshots():
+        for u, v in zip(src.tolist(), dst.tolist()):
+            if infected[u] and not infected[v] and rng.random() < beta:
+                infected[v] = True
+            if infected[v] and not infected[u] and rng.random() < beta:
+                infected[u] = True
+        curve[timestamp] = int(infected.sum())
+    return curve
+
+
+def main() -> None:
+    observed = load_dataset("EMAIL", scale="small")
+    print(f"observed contact network: {observed}")
+
+    generator = TGAEGenerator(fast_config(epochs=15)).fit(observed)
+    simulated = generator.generate(seed=3)
+    print(f"simulated contact network: {simulated}")
+
+    # Seed the epidemic at the highest-degree node of each graph.
+    beta = 0.3
+    obs_zero = int(np.argmax(observed.static_degrees()))
+    sim_zero = int(np.argmax(simulated.static_degrees()))
+    runs = 10
+    obs_curves = np.stack(
+        [si_process(observed, obs_zero, beta, seed=s) for s in range(runs)]
+    )
+    sim_curves = np.stack(
+        [si_process(simulated, sim_zero, beta, seed=s) for s in range(runs)]
+    )
+
+    print(f"\nSI epidemic (beta={beta}, {runs} runs), mean infected per timestamp:")
+    print(f"{'t':>4s} {'observed':>10s} {'simulated':>10s}")
+    for t in range(observed.num_timestamps):
+        print(f"{t:4d} {obs_curves[:, t].mean():10.1f} {sim_curves[:, t].mean():10.1f}")
+
+    final_gap = abs(obs_curves[:, -1].mean() - sim_curves[:, -1].mean())
+    relative = final_gap / max(obs_curves[:, -1].mean(), 1.0)
+    print(f"\nfinal attack-size gap: {final_gap:.1f} nodes ({relative:.1%} relative)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Scenario: simulating a transaction/trust network for fraud research.
+
+The paper's introduction motivates temporal graph simulation with online
+finance networks: fraud-detection teams often cannot share production
+transaction graphs, but can share *simulated* graphs that preserve the
+structural and temporal fingerprints models are trained on.
+
+This example:
+
+1. builds a Bitcoin-OTC-style trust network (the BITCOIN-O stand-in);
+2. fits TGAE and a privacy-free strawman (Erdős–Rényi) on it;
+3. verifies that the TGAE simulation preserves the analytics signals a
+   downstream fraud model would rely on -- degree concentration,
+   triangle/clique structure, and bursty temporal motifs -- far better
+   than the strawman.
+
+    python examples/fraud_transaction_simulation.py
+"""
+
+import numpy as np
+
+from repro.baselines import ErdosRenyiGenerator
+from repro.core import TGAEGenerator, fast_config
+from repro.datasets import load_dataset
+from repro.graph import cumulative_snapshots
+from repro.metrics import (
+    compare_graphs,
+    motif_distribution,
+    motif_mmd,
+    power_law_exponent,
+)
+
+
+def degree_gini(graph) -> float:
+    """Gini coefficient of the final-snapshot degree distribution.
+
+    Fraud rings concentrate activity; a simulator that flattens the degree
+    distribution destroys the signal.
+    """
+    degrees = np.sort(cumulative_snapshots(graph)[-1].degrees())
+    if degrees.sum() == 0:
+        return 0.0
+    n = degrees.size
+    index = np.arange(1, n + 1)
+    return float((2 * (index * degrees).sum()) / (n * degrees.sum()) - (n + 1) / n)
+
+
+def main() -> None:
+    observed = load_dataset("BITCOIN-O", scale="small")
+    print(f"observed trust network: {observed}")
+
+    tgae = TGAEGenerator(fast_config(epochs=20)).fit(observed)
+    strawman = ErdosRenyiGenerator().fit(observed)
+
+    simulated = tgae.generate(seed=7)
+    random_graph = strawman.generate(seed=7)
+
+    print("\n--- analytics-signal preservation ---")
+    print(f"{'signal':28s} {'observed':>10s} {'TGAE':>10s} {'E-R':>10s}")
+    rows = [
+        ("degree Gini (concentration)", degree_gini(observed),
+         degree_gini(simulated), degree_gini(random_graph)),
+        ("power-law exponent", power_law_exponent(cumulative_snapshots(observed)[-1]),
+         power_law_exponent(cumulative_snapshots(simulated)[-1]),
+         power_law_exponent(cumulative_snapshots(random_graph)[-1])),
+    ]
+    for label, obs, sim, rnd in rows:
+        print(f"{label:28s} {obs:10.3f} {sim:10.3f} {rnd:10.3f}")
+
+    print("\n--- structural error (mean relative, smaller is better) ---")
+    tgae_scores = compare_graphs(observed, simulated, reduction="mean")
+    er_scores = compare_graphs(observed, random_graph, reduction="mean")
+    for metric in ("wedge_count", "claw_count", "triangle_count"):
+        print(f"{metric:28s} TGAE={tgae_scores[metric]:.3f}  E-R={er_scores[metric]:.3f}")
+
+    print("\n--- temporal motif fidelity (MMD, smaller is better) ---")
+    reference = motif_distribution(observed, delta=3)
+    print(f"TGAE: {motif_mmd(reference, motif_distribution(simulated, delta=3)):.5f}")
+    print(f"E-R : {motif_mmd(reference, motif_distribution(random_graph, delta=3)):.5f}")
+
+
+if __name__ == "__main__":
+    main()

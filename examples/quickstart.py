@@ -1,0 +1,44 @@
+"""Quickstart: train TGAE on a temporal graph and evaluate the simulation.
+
+Runs in well under a minute on a laptop CPU:
+
+    python examples/quickstart.py
+"""
+
+from repro.bench import format_value
+from repro.core import TGAEGenerator, fast_config
+from repro.datasets import load_dataset
+from repro.metrics import compare_graphs, motif_distribution, motif_mmd
+
+
+def main() -> None:
+    # 1. Load an observed temporal graph (DBLP stand-in at demo scale).
+    observed = load_dataset("DBLP", scale="small")
+    print(f"observed: {observed}")
+
+    # 2. Fit the Temporal Graph Auto-Encoder.
+    config = fast_config(epochs=20, num_initial_nodes=48)
+    generator = TGAEGenerator(config).fit(observed)
+    losses = generator.history.losses
+    print(f"training: {len(losses)} epochs, loss {losses[0]:.3f} -> {losses[-1]:.3f}")
+
+    # 3. Simulate a new temporal graph with the same edge budget.
+    simulated = generator.generate(seed=42)
+    print(f"simulated: {simulated}")
+
+    # 4. Score structural fidelity (Eq. 10, the paper's Tables IV/V).
+    scores = compare_graphs(observed, simulated, reduction="mean")
+    print("\nmean relative error per statistic (smaller is better):")
+    for metric, value in scores.items():
+        print(f"  {metric:16s} {format_value(value)}")
+
+    # 5. Score temporal-motif fidelity (Eq. 1, the paper's Table VI).
+    mmd = motif_mmd(
+        motif_distribution(observed, delta=3),
+        motif_distribution(simulated, delta=3),
+    )
+    print(f"\ntemporal motif MMD: {format_value(mmd)}")
+
+
+if __name__ == "__main__":
+    main()

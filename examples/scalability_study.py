@@ -1,0 +1,47 @@
+"""Scenario: scalability profiling of temporal graph generators (Fig. 6 style).
+
+Sweeps the node-count axis of the paper's scalability grid and reports
+inference time and peak memory for TGAE against a fast simple baseline and a
+dense learning-based baseline, demonstrating the linear-vs-quadratic growth
+the paper's Figure 6 shows.
+
+    python examples/scalability_study.py
+"""
+
+from repro.baselines import ErdosRenyiGenerator, VGAEGenerator
+from repro.bench import measure_point
+from repro.core import fast_config
+from repro.core.variants import tgae_full
+from repro.datasets import node_scale_sweep
+
+
+def main() -> None:
+    # Reduced base scale so the demo finishes in ~a minute on CPU; pass a
+    # larger base_nodes to approach the paper's 1k-5k grid.
+    points = node_scale_sweep(base_nodes=100, steps=4)
+    config = fast_config(epochs=3, num_initial_nodes=32)
+    methods = {
+        "TGAE": lambda: tgae_full(config),
+        "E-R": ErdosRenyiGenerator,
+        "VGAE": lambda: VGAEGenerator(epochs=3),
+    }
+
+    print(f"{'grid point':14s} {'method':8s} {'fit s':>8s} {'infer s':>9s} {'peak MiB':>9s}")
+    for point in points:
+        for name, factory in methods.items():
+            m = measure_point(factory, point, seed=0)
+            mib = m.peak_memory_bytes / (1024 * 1024)
+            print(
+                f"{point.label:14s} {name:8s} {m.fit_seconds:8.2f} "
+                f"{m.inference_seconds:9.3f} {mib:9.2f}"
+            )
+
+    print(
+        "\nNote how the dense auto-encoder's memory grows quadratically with "
+        "node count while TGAE and E-R grow roughly linearly -- the crossover "
+        "behind the paper's OOM entries."
+    )
+
+
+if __name__ == "__main__":
+    main()

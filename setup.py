@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables editable installs in offline environments
+where the `wheel` package (needed by PEP 517 editable builds) is absent."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro -- full reproduction of *Efficient Learning-Based Graph Simulation
+for Temporal Graphs* (TGAE, ICDE 2025).
+
+Sub-packages
+------------
+``repro.autograd``
+    NumPy reverse-mode automatic differentiation (PyTorch substitute).
+``repro.nn`` / ``repro.optim``
+    Neural-network layers (incl. temporal graph attention) and optimizers.
+``repro.graph``
+    Temporal graph data structures, ego-graph sampling, bipartite batches.
+``repro.datasets``
+    Synthetic stand-ins for the paper's seven datasets + scalability grid.
+``repro.metrics``
+    Table III statistics, Eq. 10 comparison scores, motif MMD (Eq. 1).
+``repro.core``
+    TGAE itself: encoder, decoder, trainer, generator, ablation variants.
+``repro.baselines``
+    The ten comparison methods of Sec. V.
+``repro.bench``
+    The experiment harness regenerating every table and figure.
+"""
+
+from .base import TemporalGraphGenerator
+from .errors import (
+    ConfigError,
+    DatasetError,
+    GenerationError,
+    GradientError,
+    GraphFormatError,
+    NotFittedError,
+    ReproError,
+    ShapeError,
+)
+from .graph.temporal_graph import TemporalGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TemporalGraph",
+    "TemporalGraphGenerator",
+    "ReproError",
+    "ShapeError",
+    "GradientError",
+    "GraphFormatError",
+    "ConfigError",
+    "DatasetError",
+    "GenerationError",
+    "NotFittedError",
+    "__version__",
+]

@@ -1,0 +1,135 @@
+"""Composite differentiable operations built on the :class:`~repro.autograd.tensor.Tensor` primitives.
+
+These are the numerically-stable building blocks used by the TGAE model and
+the learning-based baselines: softmax families, segment (per-group) softmax
+for graph attention, and the loss terms from Eqs. 6-7 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ShapeError
+from .tensor import Tensor
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax over groups of rows sharing a segment id.
+
+    This implements the attention normalisation of Eq. 5: each edge score is
+    normalised over all edges pointing at the same target node.  The segment
+    maximum used for numerical stability is treated as a constant (detached),
+    which leaves gradients exact because softmax is shift-invariant.
+
+    Parameters
+    ----------
+    scores:
+        1-D tensor of per-edge scores (or 2-D ``(edges, heads)``).
+    segment_ids:
+        Integer array mapping each row of ``scores`` to its target segment.
+    num_segments:
+        Total number of segments (target nodes).
+    """
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    if ids.ndim != 1 or ids.shape[0] != scores.shape[0]:
+        raise ShapeError("segment_ids must be 1-D and match scores rows")
+    # Per-segment max for stability, computed outside the graph.
+    seg_max = np.full((num_segments,) + scores.shape[1:], -np.inf, dtype=scores.data.dtype)
+    np.maximum.at(seg_max, ids, scores.data)
+    seg_max = np.where(np.isfinite(seg_max), seg_max, 0.0)
+    shifted = scores - Tensor(seg_max[ids])
+    exp = shifted.exp()
+    denom = exp.segment_sum(ids, num_segments)
+    # Guard empty segments against division by zero when gathered back.
+    denom = denom + 1e-30
+    return exp / denom.take_rows(ids)
+
+
+def segment_mean(values: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Average rows of ``values`` within each segment."""
+    ids = np.asarray(segment_ids, dtype=np.int64)
+    totals = values.segment_sum(ids, num_segments)
+    counts = np.zeros(num_segments, dtype=values.data.dtype)
+    np.add.at(counts, ids, 1.0)
+    counts = np.maximum(counts, 1.0)
+    shape = (num_segments,) + (1,) * (values.ndim - 1)
+    return totals / Tensor(counts.reshape(shape))
+
+
+def cross_entropy_with_logits(logits: Tensor, targets: np.ndarray, axis: int = -1) -> Tensor:
+    """Mean cross-entropy between ``softmax(logits)`` and one-hot/dense targets.
+
+    ``targets`` may be an integer class array (one label per row) or a dense
+    probability array with the same shape as ``logits``.
+    """
+    logp = log_softmax(logits, axis=axis)
+    targets_arr = np.asarray(targets)
+    if targets_arr.shape == logits.shape:
+        per_row = -(logp * Tensor(targets_arr)).sum(axis=axis)
+        return per_row.mean()
+    if targets_arr.ndim != logits.ndim - 1:
+        raise ShapeError(
+            f"targets shape {targets_arr.shape} incompatible with logits {logits.shape}"
+        )
+    flat = logp.reshape(-1, logits.shape[-1])
+    idx = targets_arr.reshape(-1).astype(np.int64)
+    rows = np.arange(idx.shape[0])
+    picked = flat[(rows, idx)]
+    return -picked.mean()
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor, targets: np.ndarray, weight: Optional[np.ndarray] = None
+) -> Tensor:
+    """Stable elementwise BCE, mean-reduced.
+
+    Uses the standard ``max(x,0) - x*t + log(1+exp(-|x|))`` formulation so
+    large-magnitude logits do not overflow.
+    """
+    t = Tensor(np.asarray(targets, dtype=logits.data.dtype))
+    relu_x = logits.relu()
+    loss = relu_x - logits * t + ((-logits.abs()).exp() + 1.0).log()
+    if weight is not None:
+        loss = loss * Tensor(np.asarray(weight, dtype=logits.data.dtype))
+    return loss.mean()
+
+
+def kl_standard_normal(mu: Tensor, log_sigma: Tensor) -> Tensor:
+    """KL( N(mu, sigma^2) || N(0, 1) ), mean over rows.
+
+    This is the regulariser of Eq. 6; ``log_sigma`` parameterises the scale to
+    keep the optimisation unconstrained.
+    """
+    sigma_sq = (log_sigma * 2.0).exp()
+    per_element = 0.5 * (sigma_sq + mu * mu - 1.0 - log_sigma * 2.0)
+    return per_element.sum(axis=-1).mean()
+
+
+def mse(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target."""
+    diff = prediction - Tensor(np.asarray(target, dtype=prediction.data.dtype))
+    return (diff * diff).mean()
+
+
+def logsumexp(x: Tensor, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable log-sum-exp reduction."""
+    m = x.max(axis=axis, keepdims=True).detach()
+    out = (x - m).exp().sum(axis=axis, keepdims=True).log() + m
+    if not keepdims:
+        out = out.reshape(*np.delete(np.array(out.shape), axis))
+    return out

@@ -1,0 +1,71 @@
+"""The common interface implemented by every temporal graph generator.
+
+TGAE, all learning-based baselines, and the simple model-based baselines
+expose the same two-phase API so the benchmark harness can treat them
+uniformly:
+
+* :meth:`TemporalGraphGenerator.fit` learns from an observed
+  :class:`~repro.graph.temporal_graph.TemporalGraph`;
+* :meth:`TemporalGraphGenerator.generate` samples a new temporal graph over
+  the same node universe and timestamp range, with (approximately) the same
+  number of temporal edges.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from .errors import NotFittedError
+from .graph.temporal_graph import TemporalGraph
+
+
+class TemporalGraphGenerator(abc.ABC):
+    """Abstract base class for temporal graph generative models."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "generator"
+
+    def __init__(self) -> None:
+        self._observed: Optional[TemporalGraph] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._observed is not None
+
+    @property
+    def observed(self) -> TemporalGraph:
+        """The graph this generator was fitted on."""
+        if self._observed is None:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")
+        return self._observed
+
+    def fit(self, graph: TemporalGraph) -> "TemporalGraphGenerator":
+        """Learn the generative distribution of ``graph``.
+
+        Subclasses must call ``super().fit(graph)`` (or set ``_observed``)
+        and then perform their own training; returns ``self`` for chaining.
+        """
+        self._observed = graph
+        self._fit(graph)
+        return self
+
+    def generate(self, seed: Optional[int] = None) -> TemporalGraph:
+        """Sample a synthetic temporal graph mimicking the observed one."""
+        if self._observed is None:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")
+        return self._generate(seed)
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _fit(self, graph: TemporalGraph) -> None:
+        """Model-specific training."""
+
+    @abc.abstractmethod
+    def _generate(self, seed: Optional[int]) -> TemporalGraph:
+        """Model-specific sampling."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(fitted={self.is_fitted})"

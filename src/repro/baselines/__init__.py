@@ -1,0 +1,75 @@
+"""The ten comparison methods of Sec. V, behind the common generator API.
+
+========== ============================= ==============================
+Name       Class                         Family
+========== ============================= ==============================
+TIGGER     :class:`TiggerGenerator`      temporal walks, recurrent MLE
+DYMOND     :class:`DymondGenerator`      dynamic motif model
+TGGAN      :class:`TGGANGenerator`       temporal walk GAN
+TagGen     :class:`TagGenGenerator`      temporal walk + discriminator
+NetGAN     :class:`NetGANGenerator`      static walk model (per snapshot)
+E-R        :class:`ErdosRenyiGenerator`  random graph (per snapshot)
+B-A        :class:`BarabasiAlbertGenerator` preferential attachment
+VGAE       :class:`VGAEGenerator`        variational GCN auto-encoder
+Graphite   :class:`GraphiteGenerator`    iterative-refinement VGAE
+SBMGNN     :class:`SBMGNNGenerator`      GNN-parameterised overlapping SBM
+========== ============================= ==============================
+"""
+
+from typing import Callable, Dict
+
+from ..base import TemporalGraphGenerator
+from .ba import BarabasiAlbertGenerator
+from .dymond import DymondGenerator
+from .er import ErdosRenyiGenerator
+from .graphite import GraphiteGenerator
+from .mtm import MotifTransitionGenerator
+from .netgan import NetGANGenerator
+from .rtgen import RTGenGenerator
+from .sbmgnn import SBMGNNGenerator
+from .taggen import TagGenGenerator
+from .ted import TEDGenerator
+from .tggan import TGGANGenerator
+from .tigger import TiggerGenerator
+from .vgae import VGAEGenerator
+
+#: Factory registry in the paper's column order (Tables IV-VI).
+BASELINES: Dict[str, Callable[[], TemporalGraphGenerator]] = {
+    "TIGGER": TiggerGenerator,
+    "DYMOND": DymondGenerator,
+    "TGGAN": TGGANGenerator,
+    "TagGen": TagGenGenerator,
+    "NetGAN": NetGANGenerator,
+    "E-R": ErdosRenyiGenerator,
+    "B-A": BarabasiAlbertGenerator,
+    "VGAE": VGAEGenerator,
+    "Graphite": GraphiteGenerator,
+    "SBMGNN": SBMGNNGenerator,
+}
+
+#: Extra non-learning temporal generators from the paper's related work
+#: (Sec. II-C); not part of the paper's comparison tables but useful
+#: comparators in their own right.
+EXTRA_BASELINES: Dict[str, Callable[[], TemporalGraphGenerator]] = {
+    "RTGEN": RTGenGenerator,
+    "MTM": MotifTransitionGenerator,
+    "TED": TEDGenerator,
+}
+
+__all__ = [
+    "BASELINES",
+    "EXTRA_BASELINES",
+    "RTGenGenerator",
+    "MotifTransitionGenerator",
+    "TEDGenerator",
+    "TiggerGenerator",
+    "DymondGenerator",
+    "TGGANGenerator",
+    "TagGenGenerator",
+    "NetGANGenerator",
+    "ErdosRenyiGenerator",
+    "BarabasiAlbertGenerator",
+    "VGAEGenerator",
+    "GraphiteGenerator",
+    "SBMGNNGenerator",
+]

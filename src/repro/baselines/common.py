@@ -1,0 +1,165 @@
+"""Shared machinery for the baseline generators.
+
+The static baselines (NetGAN, VGAE, Graphite, SBMGNN, E-R, B-A) are not
+temporal models; following Sec. V-B of the paper they are applied per
+timestamp ("we separately generate snapshots of the temporal graph at each
+timestamp") and the snapshots are concatenated into a temporal graph.
+:class:`PerSnapshotGenerator` implements that protocol once; each static
+baseline only supplies a per-snapshot ``fit``/``sample`` pair.
+
+:class:`GCNLayer` is the graph-convolution used by the auto-encoder family
+(VGAE, Graphite, SBMGNN): symmetric-normalised dense propagation, adequate
+for the snapshot sizes these baselines can handle (they are the methods that
+go OOM first in the paper's experiments, and the dense representation is
+faithful to that behaviour).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..base import TemporalGraphGenerator
+from ..graph.temporal_graph import TemporalGraph
+from ..nn import Module, Parameter
+from ..nn import init as nn_init
+
+
+def normalized_adjacency(adj: np.ndarray) -> np.ndarray:
+    """Symmetric normalisation ``D^{-1/2} (A + I) D^{-1/2}`` (Kipf & Welling)."""
+    a_hat = adj + np.eye(adj.shape[0])
+    degree = a_hat.sum(axis=1)
+    d_inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+    return a_hat * d_inv_sqrt[:, None] * d_inv_sqrt[None, :]
+
+
+def snapshot_dense_adjacency(
+    num_nodes: int, src: np.ndarray, dst: np.ndarray, symmetric: bool = True
+) -> np.ndarray:
+    """Dense binary adjacency of one snapshot (baseline-scale graphs only)."""
+    adj = np.zeros((num_nodes, num_nodes), dtype=np.float64)
+    adj[src, dst] = 1.0
+    if symmetric:
+        adj = np.maximum(adj, adj.T)
+    np.fill_diagonal(adj, 0.0)
+    return adj
+
+
+class GCNLayer(Module):
+    """One dense graph-convolution layer ``act(A_hat X W)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: Optional[np.random.Generator] = None,
+        activation: str = "relu",
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.weight = Parameter(nn_init.xavier_uniform((in_features, out_features), rng))
+        self.activation = activation
+
+    def forward(self, a_hat: Tensor, x: Tensor) -> Tensor:
+        out = a_hat @ (x @ self.weight)
+        if self.activation == "relu":
+            return out.relu()
+        if self.activation == "tanh":
+            return out.tanh()
+        return out
+
+
+def sample_edges_from_scores(
+    scores: np.ndarray,
+    num_edges: int,
+    rng: np.random.Generator,
+    allow_self_loops: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample ``num_edges`` distinct directed edges proportionally to ``scores``.
+
+    Used by every dense-score static baseline: scores are flattened into one
+    categorical and edges drawn without replacement via Gumbel top-k.
+    """
+    probs = scores.astype(np.float64).copy()
+    if not allow_self_loops:
+        np.fill_diagonal(probs, 0.0)
+    flat = probs.reshape(-1)
+    total = flat.sum()
+    if total <= 0:
+        flat = np.ones_like(flat)
+        if not allow_self_loops:
+            flat.reshape(probs.shape)[np.diag_indices(probs.shape[0])] = 0.0
+        total = flat.sum()
+    flat = flat / total
+    count = min(num_edges, int(np.count_nonzero(flat)))
+    gumbel = -np.log(-np.log(rng.random(flat.size) + 1e-300) + 1e-300)
+    log_p = np.log(np.where(flat > 0, flat, 1.0))
+    keys = np.where(flat > 0, log_p + gumbel, -np.inf)
+    picked = np.argpartition(-keys, count - 1)[:count]
+    n = scores.shape[0]
+    return (picked // n).astype(np.int64), (picked % n).astype(np.int64)
+
+
+class PerSnapshotGenerator(TemporalGraphGenerator):
+    """Adapter that runs a static generative model once per timestamp.
+
+    Subclasses implement :meth:`_fit_snapshot` (learn from one snapshot's
+    edges) and :meth:`_sample_snapshot` (emit a fixed number of edges).
+    State between timestamps is up to the subclass (most are independent).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._edge_counts: List[int] = []
+
+    def _fit(self, graph: TemporalGraph) -> None:
+        self._edge_counts = []
+        self._snapshot_states: List[object] = []
+        for timestamp, src, dst in graph.snapshots():
+            self._edge_counts.append(int(src.size))
+            self._snapshot_states.append(
+                self._fit_snapshot(graph.num_nodes, timestamp, src, dst)
+            )
+
+    def _generate(self, seed: Optional[int]) -> TemporalGraph:
+        graph = self.observed
+        rng = np.random.default_rng(seed)
+        srcs, dsts, ts = [], [], []
+        for timestamp in range(graph.num_timestamps):
+            count = self._edge_counts[timestamp]
+            if count == 0:
+                continue
+            state = self._snapshot_states[timestamp]
+            src, dst = self._sample_snapshot(graph.num_nodes, timestamp, count, state, rng)
+            srcs.append(src)
+            dsts.append(dst)
+            ts.append(np.full(src.size, timestamp, dtype=np.int64))
+        return TemporalGraph(
+            graph.num_nodes,
+            np.concatenate(srcs) if srcs else np.array([], dtype=np.int64),
+            np.concatenate(dsts) if dsts else np.array([], dtype=np.int64),
+            np.concatenate(ts) if ts else np.array([], dtype=np.int64),
+            num_timestamps=graph.num_timestamps,
+            validate=False,
+        )
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _fit_snapshot(
+        self, num_nodes: int, timestamp: int, src: np.ndarray, dst: np.ndarray
+    ) -> object:
+        """Learn from one snapshot; returns an opaque per-snapshot state."""
+
+    @abc.abstractmethod
+    def _sample_snapshot(
+        self,
+        num_nodes: int,
+        timestamp: int,
+        num_edges: int,
+        state: object,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Emit ``num_edges`` edges for one snapshot."""

@@ -1,0 +1,42 @@
+"""Erdős–Rényi baseline (E-R in the paper's tables).
+
+The simplest model-based generator: for every timestamp, emit the observed
+number of edges uniformly at random over ordered node pairs.  Fast and
+scalable, but structurally blind -- which is exactly the behaviour the
+paper's Tables IV-VI document.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .common import PerSnapshotGenerator
+
+
+class ErdosRenyiGenerator(PerSnapshotGenerator):
+    """Per-snapshot uniform random edges (G(n, m) per timestamp)."""
+
+    name = "E-R"
+
+    def _fit_snapshot(
+        self, num_nodes: int, timestamp: int, src: np.ndarray, dst: np.ndarray
+    ) -> object:
+        # G(n, m) has no parameters beyond the edge count, which the adapter
+        # already records.
+        return None
+
+    def _sample_snapshot(
+        self,
+        num_nodes: int,
+        timestamp: int,
+        num_edges: int,
+        state: object,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        src = rng.integers(0, num_nodes, size=num_edges)
+        dst = rng.integers(0, num_nodes, size=num_edges)
+        loops = src == dst
+        dst[loops] = (dst[loops] + 1) % num_nodes
+        return src.astype(np.int64), dst.astype(np.int64)

@@ -1,0 +1,122 @@
+"""Motif Transition Model baseline (Liu & Sariyüce, KDD 2023).
+
+Cited in the paper's related work as a "simple and scalable simulator for
+dynamic graphs": temporal motifs are not static objects but *evolve* --
+an isolated edge grows into a wedge, a wedge closes into a triangle.  The
+model estimates the transition rates between motif states from the observed
+graph and replays the process.
+
+Our implementation tracks, per timestamp, how many new edges (i) start a
+new component-of-two, (ii) attach to an existing edge's endpoint (wedge
+creation / star growth), and (iii) close a wedge into a triangle; generation
+replays those rates against the evolving generated graph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..base import TemporalGraphGenerator
+from ..graph.temporal_graph import TemporalGraph
+
+
+class MotifTransitionGenerator(TemporalGraphGenerator):
+    """Replay of observed edge->wedge->triangle transition rates."""
+
+    name = "MTM"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self.seed = seed
+        # Per timestamp: (p_new, p_attach, p_close) transition mix.
+        self._rates: List[Tuple[float, float, float]] = []
+        self._edges_per_t: List[int] = []
+
+    # ------------------------------------------------------------------
+    def _fit(self, graph: TemporalGraph) -> None:
+        self._rates = []
+        self._edges_per_t = []
+        adjacency: dict = {}
+        touched: set = set()
+        for _, src, dst in graph.snapshots():
+            new = attach = close = 0
+            for u, v in zip(src.tolist(), dst.tolist()):
+                if u == v:
+                    continue
+                u_known = u in touched
+                v_known = v in touched
+                common = adjacency.get(u, set()) & adjacency.get(v, set())
+                if common:
+                    close += 1
+                elif u_known or v_known:
+                    attach += 1
+                else:
+                    new += 1
+                adjacency.setdefault(u, set()).add(v)
+                adjacency.setdefault(v, set()).add(u)
+                touched.add(u)
+                touched.add(v)
+            total = max(new + attach + close, 1)
+            self._rates.append((new / total, attach / total, close / total))
+            self._edges_per_t.append(int(src.size))
+
+    # ------------------------------------------------------------------
+    def _generate(self, seed: Optional[int]) -> TemporalGraph:
+        graph = self.observed
+        rng = np.random.default_rng(seed if seed is not None else self.seed + 3)
+        adjacency: dict = {}
+        active: List[int] = []
+        srcs: List[int] = []
+        dsts: List[int] = []
+        ts: List[int] = []
+
+        def add_edge(u: int, v: int, timestamp: int) -> None:
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+            if u not in active_set:
+                active_set.add(u)
+                active.append(u)
+            if v not in active_set:
+                active_set.add(v)
+                active.append(v)
+            srcs.append(u)
+            dsts.append(v)
+            ts.append(timestamp)
+
+        active_set: set = set()
+        for timestamp, (p_new, p_attach, p_close) in enumerate(self._rates):
+            for _ in range(self._edges_per_t[timestamp]):
+                roll = rng.random()
+                if roll < p_close and active:
+                    # Close a wedge: pick a node, connect two of its neighbours.
+                    pivot = active[int(rng.integers(0, len(active)))]
+                    neighbours = list(adjacency.get(pivot, ()))
+                    if len(neighbours) >= 2:
+                        a, b = rng.choice(len(neighbours), size=2, replace=False)
+                        add_edge(neighbours[a], neighbours[b], timestamp)
+                        continue
+                    roll = p_close  # fall through to attach
+                if roll < p_close + p_attach and active:
+                    # Attach: extend an active node with a fresh partner.
+                    anchor = active[int(rng.integers(0, len(active)))]
+                    partner = int(rng.integers(0, graph.num_nodes))
+                    if partner == anchor:
+                        partner = (partner + 1) % graph.num_nodes
+                    add_edge(anchor, partner, timestamp)
+                    continue
+                # New component: two uniform nodes.
+                u = int(rng.integers(0, graph.num_nodes))
+                v = int(rng.integers(0, graph.num_nodes))
+                if v == u:
+                    v = (v + 1) % graph.num_nodes
+                add_edge(u, v, timestamp)
+        return TemporalGraph(
+            graph.num_nodes,
+            np.asarray(srcs, dtype=np.int64),
+            np.asarray(dsts, dtype=np.int64),
+            np.asarray(ts, dtype=np.int64),
+            num_timestamps=graph.num_timestamps,
+            validate=False,
+        )

@@ -1,0 +1,188 @@
+"""TGGAN baseline (Zhang et al., WWW 2021).
+
+TGGAN extends TagGen with a full generative-adversarial framework over
+temporal random walks: a recurrent *generator* maps noise to sequences of
+(node, time) tokens and a recurrent *discriminator* judges walk validity.
+We implement the adversarial loop with the straight-through Gumbel-softmax
+relaxation so gradients flow from the discriminator into the generator's
+discrete token choices -- the standard trick for walk GANs.
+
+Time-validity is enforced the way TGGAN does: generated time gaps are
+non-negative, so walks respect temporal ordering by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor, binary_cross_entropy_with_logits, no_grad, softmax
+from ..base import TemporalGraphGenerator
+from ..errors import GenerationError
+from ..graph.temporal_graph import TemporalGraph
+from ..graph.walks import sample_walk_corpus, walks_to_graph
+from ..nn import Embedding, GRUCell, Linear, Module
+from ..optim import Adam, clip_grad_norm
+
+
+class _Generator(Module):
+    """GRU mapping a noise vector to a sequence of node distributions."""
+
+    def __init__(
+        self, num_nodes: int, noise_dim: int, hidden_dim: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.noise_proj = Linear(noise_dim, hidden_dim, rng=rng)
+        self.cell = GRUCell(hidden_dim, hidden_dim, rng=rng)
+        self.node_head = Linear(hidden_dim, num_nodes, rng=rng)
+        self.feedback = Linear(num_nodes, hidden_dim, rng=rng)
+
+    def roll(self, noise: Tensor, length: int, temperature: float, rng: np.random.Generator):
+        """Unroll ``length`` steps; returns a list of soft one-hot tensors."""
+        h = self.noise_proj(noise).tanh()
+        x = h
+        soft_tokens: List[Tensor] = []
+        for _ in range(length):
+            h = self.cell(x, h)
+            logits = self.node_head(h)
+            gumbel = -np.log(-np.log(rng.random(logits.shape) + 1e-300) + 1e-300)
+            soft = softmax((logits + Tensor(gumbel)) * (1.0 / temperature), axis=-1)
+            soft_tokens.append(soft)
+            x = self.feedback(soft).tanh()
+        return soft_tokens
+
+
+class _Discriminator(Module):
+    """GRU classifier over (soft or hard) node-token sequences."""
+
+    def __init__(self, num_nodes: int, embed_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.embed = Linear(num_nodes, embed_dim, bias=False, rng=rng)
+        self.cell = GRUCell(embed_dim, hidden_dim, rng=rng)
+        self.head = Linear(hidden_dim, 1, rng=rng)
+
+    def forward(self, token_seq: List[Tensor]) -> Tensor:
+        batch = token_seq[0].shape[0]
+        h = self.cell.initial_state(batch)
+        for token in token_seq:
+            h = self.cell(self.embed(token), h)
+        return self.head(h).reshape(batch)
+
+
+class TGGANGenerator(TemporalGraphGenerator):
+    """Adversarially-trained temporal walk generator."""
+
+    name = "TGGAN"
+
+    def __init__(
+        self,
+        num_walks: int = 200,
+        walk_length: int = 6,
+        time_window: int = 3,
+        noise_dim: int = 8,
+        hidden_dim: int = 24,
+        embed_dim: int = 16,
+        train_steps: int = 40,
+        batch_size: int = 16,
+        learning_rate: float = 2e-3,
+        temperature: float = 0.8,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.num_walks = num_walks
+        self.walk_length = walk_length
+        self.time_window = time_window
+        self.noise_dim = noise_dim
+        self.hidden_dim = hidden_dim
+        self.embed_dim = embed_dim
+        self.train_steps = train_steps
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.temperature = temperature
+        self.seed = seed
+        self.generator: Optional[_Generator] = None
+        self._start_times: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _fit(self, graph: TemporalGraph) -> None:
+        rng = np.random.default_rng(self.seed)
+        corpus = sample_walk_corpus(
+            graph, self.num_walks, self.walk_length, self.time_window, rng,
+            time_respecting=True,
+        )
+        self._start_times = np.asarray([int(times[0]) for _, times in corpus], dtype=np.int64)
+        # Real walks as hard one-hot sequences of fixed length (padded by
+        # repeating the last node, which TGGAN's time-validity also allows).
+        real_walks = np.zeros((len(corpus), self.walk_length), dtype=np.int64)
+        for i, (nodes, _) in enumerate(corpus):
+            padded = np.concatenate(
+                [nodes, np.full(self.walk_length - nodes.size, nodes[-1], dtype=np.int64)]
+            ) if nodes.size < self.walk_length else nodes[: self.walk_length]
+            real_walks[i] = padded
+
+        gen = _Generator(graph.num_nodes, self.noise_dim, self.hidden_dim, rng)
+        disc = _Discriminator(graph.num_nodes, self.embed_dim, self.hidden_dim, rng)
+        g_opt = Adam(gen.parameters(), lr=self.learning_rate)
+        d_opt = Adam(disc.parameters(), lr=self.learning_rate)
+        eye = np.eye(graph.num_nodes)
+
+        for _ in range(self.train_steps):
+            # --- Discriminator step ---------------------------------------
+            idx = rng.integers(0, real_walks.shape[0], size=self.batch_size)
+            real_seq = [Tensor(eye[real_walks[idx, pos]]) for pos in range(self.walk_length)]
+            noise = Tensor(rng.standard_normal((self.batch_size, self.noise_dim)))
+            fake_seq = gen.roll(noise, self.walk_length, self.temperature, rng)
+            fake_detached = [Tensor(tok.numpy()) for tok in fake_seq]
+            d_loss = binary_cross_entropy_with_logits(
+                disc(real_seq), np.ones(self.batch_size)
+            ) + binary_cross_entropy_with_logits(
+                disc(fake_detached), np.zeros(self.batch_size)
+            )
+            d_opt.zero_grad()
+            d_loss.backward()
+            clip_grad_norm(disc.parameters(), 5.0)
+            d_opt.step()
+            # --- Generator step (non-saturating loss) ---------------------
+            noise = Tensor(rng.standard_normal((self.batch_size, self.noise_dim)))
+            fake_seq = gen.roll(noise, self.walk_length, self.temperature, rng)
+            g_loss = binary_cross_entropy_with_logits(
+                disc(fake_seq), np.ones(self.batch_size)
+            )
+            g_opt.zero_grad()
+            g_loss.backward()
+            clip_grad_norm(gen.parameters(), 5.0)
+            g_opt.step()
+        self.generator = gen
+
+    # ------------------------------------------------------------------
+    def _generate(self, seed: Optional[int]) -> TemporalGraph:
+        if self.generator is None or self._start_times is None:
+            raise GenerationError("TGGAN generator missing after fit")
+        graph = self.observed
+        rng = np.random.default_rng(seed if seed is not None else self.seed + 13)
+        needed = graph.num_edges
+        collected = 0
+        walks: List[Tuple[np.ndarray, np.ndarray]] = []
+        with no_grad():
+            while collected < needed:
+                noise = Tensor(rng.standard_normal((self.batch_size, self.noise_dim)))
+                soft_seq = self.generator.roll(noise, self.walk_length, self.temperature, rng)
+                tokens = np.stack([tok.numpy().argmax(axis=1) for tok in soft_seq], axis=1)
+                start_t = self._start_times[
+                    rng.integers(0, self._start_times.size, size=self.batch_size)
+                ]
+                for i in range(self.batch_size):
+                    # Non-negative time gaps: walks move forward in time.
+                    gaps = rng.integers(0, self.time_window + 1, size=self.walk_length - 1)
+                    times = np.minimum(
+                        start_t[i] + np.concatenate([[0], np.cumsum(gaps)]),
+                        graph.num_timestamps - 1,
+                    )
+                    walks.append((tokens[i], times.astype(np.int64)))
+                    collected += self.walk_length - 1
+                    if collected >= needed:
+                        break
+        return walks_to_graph(
+            walks, graph.num_nodes, graph.num_timestamps, target_edges=needed, rng=rng
+        )

@@ -1,0 +1,69 @@
+"""Benchmark harness regenerating every table and figure of Sec. V."""
+
+from .figures import (
+    FIGURE5_METRICS,
+    log_series,
+    render_tendency,
+    tendency_fit_error,
+    tendency_series,
+)
+from .harness import (
+    BenchmarkRun,
+    RunResult,
+    default_tgae_config,
+    method_registry,
+    run_method,
+    run_methods,
+)
+from .report import evaluation_report, render_report, report_headline
+from .sensitivity import (
+    SensitivityPoint,
+    render_sensitivity,
+    sweep_parameter,
+)
+from .tables import (
+    ablation_table,
+    dataset_table,
+    format_table,
+    format_value,
+    motif_table,
+    quality_table,
+)
+from .timing import (
+    ScalabilityMeasurement,
+    measure_point,
+    render_sweep,
+    scalability_methods,
+    sweep,
+)
+
+__all__ = [
+    "evaluation_report",
+    "render_report",
+    "report_headline",
+    "sweep_parameter",
+    "render_sensitivity",
+    "SensitivityPoint",
+    "run_method",
+    "run_methods",
+    "method_registry",
+    "default_tgae_config",
+    "RunResult",
+    "BenchmarkRun",
+    "dataset_table",
+    "quality_table",
+    "motif_table",
+    "ablation_table",
+    "format_table",
+    "format_value",
+    "tendency_series",
+    "render_tendency",
+    "tendency_fit_error",
+    "log_series",
+    "FIGURE5_METRICS",
+    "measure_point",
+    "sweep",
+    "render_sweep",
+    "scalability_methods",
+    "ScalabilityMeasurement",
+]

@@ -1,0 +1,93 @@
+"""Figure builders: temporal-tendency curves (Fig. 5).
+
+Figure 5 plots ``log(statistic)`` of the cumulative snapshot at every
+timestamp for the original DBLP graph and each generator's output.  The
+builder returns the raw per-timestamp series (method -> metric -> array) and
+a text renderer prints them as aligned columns -- the same information the
+paper plots, consumable without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core import TGAEConfig
+from ..graph.temporal_graph import TemporalGraph
+from ..metrics import statistic_time_series
+from .harness import run_methods
+
+#: The six panels of Figure 5 (mean degree is omitted there).
+FIGURE5_METRICS: List[str] = [
+    "lcc",
+    "wedge_count",
+    "claw_count",
+    "triangle_count",
+    "ple",
+    "n_components",
+]
+
+
+def tendency_series(
+    observed: TemporalGraph,
+    methods: Optional[List[str]] = None,
+    metrics: Optional[Sequence[str]] = None,
+    tgae_config: Optional[TGAEConfig] = None,
+    seed: int = 0,
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Per-timestamp statistic series for the original graph and each method.
+
+    Returns ``{"Origin": {metric: series}, method: {metric: series}, ...}``.
+    """
+    metric_names = list(metrics) if metrics is not None else list(FIGURE5_METRICS)
+    out: Dict[str, Dict[str, np.ndarray]] = {
+        "Origin": statistic_time_series(observed, metric_names)
+    }
+    run = run_methods(observed, methods=methods, tgae_config=tgae_config, seed=seed)
+    for method, result in run.results.items():
+        out[method] = statistic_time_series(result.generated, metric_names)
+    return out
+
+
+def log_series(series: np.ndarray) -> np.ndarray:
+    """``log(statistic)`` with zeros mapped to 0 (the plot's floor)."""
+    out = np.zeros_like(series, dtype=np.float64)
+    positive = series > 0
+    out[positive] = np.log(series[positive])
+    return out
+
+
+def render_tendency(
+    data: Dict[str, Dict[str, np.ndarray]],
+    metric: str,
+    use_log: bool = True,
+) -> str:
+    """Render one Figure 5 panel as an aligned text table (rows = timestamps)."""
+    methods = list(data)
+    first = data[methods[0]][metric]
+    lines = ["t".rjust(4) + "".join(m.rjust(12) for m in methods)]
+    for timestamp in range(first.size):
+        cells = [f"{timestamp}".rjust(4)]
+        for method in methods:
+            value = data[method][metric][timestamp]
+            shown = log_series(np.asarray([value]))[0] if use_log else value
+            cells.append(f"{shown:12.3f}")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def tendency_fit_error(
+    data: Dict[str, Dict[str, np.ndarray]], metric: str
+) -> Dict[str, float]:
+    """Mean absolute log-space deviation from the original curve per method.
+
+    A scalar summary of "how well does the curve fit the blue Origin curve"
+    used by tests and EXPERIMENTS.md to rank methods on Figure 5.
+    """
+    origin = log_series(data["Origin"][metric])
+    return {
+        method: float(np.mean(np.abs(log_series(series[metric]) - origin)))
+        for method, series in data.items()
+        if method != "Origin"
+    }

@@ -1,0 +1,99 @@
+"""Parameter-sensitivity experiments (Sec. V mentions these alongside the
+ablation study).
+
+Three one-dimensional sweeps around a base configuration:
+
+* ``n_s``  -- the number of sampled initial nodes (the paper's main
+  quality/efficiency trade-off knob, Eq. 7);
+* ``k``    -- the ego-graph radius (depth of stacked TGAT layers);
+* ``th``   -- the neighbour truncation threshold of Alg. 1.
+
+Each sweep fits a fresh TGAE per value and reports quality (mean relative
+error averaged over the seven statistics) and fit time, exposing the
+trade-off curves the paper discusses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core import TGAEConfig, TGAEGenerator
+from ..graph.temporal_graph import TemporalGraph
+from ..metrics import compare_graphs
+
+
+@dataclass
+class SensitivityPoint:
+    """Quality/cost measurement for one hyper-parameter value."""
+
+    parameter: str
+    value: int
+    mean_error: float
+    per_metric: Dict[str, float]
+    fit_seconds: float
+    generate_seconds: float
+
+
+def _evaluate(config: TGAEConfig, graph: TemporalGraph, seed: int) -> SensitivityPoint:
+    generator = TGAEGenerator(config)
+    start = time.perf_counter()
+    generator.fit(graph)
+    fit_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    generated = generator.generate(seed=seed)
+    generate_seconds = time.perf_counter() - start
+    scores = compare_graphs(graph, generated, reduction="mean")
+    return SensitivityPoint(
+        parameter="",
+        value=0,
+        mean_error=float(np.mean(list(scores.values()))),
+        per_metric=scores,
+        fit_seconds=fit_seconds,
+        generate_seconds=generate_seconds,
+    )
+
+
+def sweep_parameter(
+    graph: TemporalGraph,
+    base_config: TGAEConfig,
+    parameter: str,
+    values: Sequence[int],
+    seed: int = 0,
+) -> List[SensitivityPoint]:
+    """Fit/evaluate TGAE for each value of ``parameter``.
+
+    ``parameter`` must be a field of :class:`TGAEConfig`
+    (e.g. ``"num_initial_nodes"``, ``"radius"``, ``"neighbor_threshold"``).
+    """
+    field_names = {f.name for f in dataclasses.fields(TGAEConfig)}
+    if parameter not in field_names:
+        raise KeyError(f"{parameter!r} is not a TGAEConfig field")
+    points: List[SensitivityPoint] = []
+    for value in values:
+        config = dataclasses.replace(base_config, **{parameter: int(value)})
+        point = _evaluate(config, graph, seed)
+        point.parameter = parameter
+        point.value = int(value)
+        points.append(point)
+    return points
+
+
+def render_sensitivity(points: List[SensitivityPoint]) -> str:
+    """Aligned text table: value, quality, and cost columns."""
+    if not points:
+        return "(empty sweep)"
+    header = (
+        f"{points[0].parameter:>20s} {'mean err':>10s} {'fit s':>8s} {'gen s':>8s}"
+    )
+    lines = [header]
+    for p in points:
+        lines.append(
+            f"{p.value:>20d} {p.mean_error:>10.4f} {p.fit_seconds:>8.2f} "
+            f"{p.generate_seconds:>8.2f}"
+        )
+    return "\n".join(lines)

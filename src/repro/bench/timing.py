@@ -1,0 +1,112 @@
+"""Scalability measurements (Figure 6): inference time and peak memory.
+
+Three sweeps (node count, timestamp count, edge density) over uniform random
+temporal graphs; each method is fitted once and its *inference* (generation)
+time plus peak traced memory are recorded, mirroring the paper's first and
+second Figure 6 rows.  Memory is measured with :mod:`tracemalloc` -- the CPU
+analogue of the paper's GPU memory probe (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..base import TemporalGraphGenerator
+from ..core import TGAEConfig, fast_config
+from ..core.variants import VARIANTS
+from ..datasets.scalability import ScalabilityPoint, make_scalability_graph
+from ..baselines import BASELINES
+
+
+@dataclass
+class ScalabilityMeasurement:
+    """One (method, grid-point) measurement of Figure 6."""
+
+    method: str
+    label: str
+    fit_seconds: float
+    inference_seconds: float
+    peak_memory_bytes: int
+
+    @property
+    def log_time(self) -> float:
+        """``log(seconds)`` as plotted on the Figure 6 y-axis."""
+        return float(np.log(max(self.inference_seconds, 1e-9)))
+
+    @property
+    def log_memory_mib(self) -> float:
+        """``log(MiB)`` as plotted on the Figure 6 second row."""
+        mib = max(self.peak_memory_bytes / (1024.0 * 1024.0), 1e-6)
+        return float(np.log(mib))
+
+
+def measure_point(
+    factory: Callable[[], TemporalGraphGenerator],
+    point: ScalabilityPoint,
+    seed: int = 0,
+) -> ScalabilityMeasurement:
+    """Fit once, then measure generation time and peak traced memory."""
+    graph = make_scalability_graph(point)
+    generator = factory()
+    start = time.perf_counter()
+    generator.fit(graph)
+    fit_seconds = time.perf_counter() - start
+    tracemalloc.start()
+    start = time.perf_counter()
+    generator.generate(seed=seed)
+    inference_seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return ScalabilityMeasurement(
+        method=getattr(generator, "name", type(generator).__name__),
+        label=point.label,
+        fit_seconds=fit_seconds,
+        inference_seconds=inference_seconds,
+        peak_memory_bytes=peak,
+    )
+
+
+def scalability_methods(
+    tgae_config: Optional[TGAEConfig] = None,
+) -> Dict[str, Callable[[], TemporalGraphGenerator]]:
+    """The Figure 6 method set (TGAE + all learning-based baselines + E-R/B-A)."""
+    config = tgae_config if tgae_config is not None else fast_config(epochs=3)
+    methods: Dict[str, Callable[[], TemporalGraphGenerator]] = {
+        "TGAE": lambda: VARIANTS["TGAE"](config)
+    }
+    methods.update(BASELINES)
+    return methods
+
+
+def sweep(
+    points: List[ScalabilityPoint],
+    methods: Optional[Dict[str, Callable[[], TemporalGraphGenerator]]] = None,
+    seed: int = 0,
+) -> Dict[str, List[ScalabilityMeasurement]]:
+    """Measure every method at every grid point of one Figure 6 column."""
+    methods = methods if methods is not None else scalability_methods()
+    out: Dict[str, List[ScalabilityMeasurement]] = {name: [] for name in methods}
+    for point in points:
+        for name, factory in methods.items():
+            out[name].append(measure_point(factory, point, seed=seed))
+    return out
+
+
+def render_sweep(results: Dict[str, List[ScalabilityMeasurement]], quantity: str = "time") -> str:
+    """Render one sweep as an aligned table (rows = grid labels)."""
+    methods = list(results)
+    labels = [m.label for m in results[methods[0]]]
+    lines = ["point".ljust(14) + "".join(name.rjust(12) for name in methods)]
+    for i, label in enumerate(labels):
+        cells = [label.ljust(14)]
+        for name in methods:
+            meas = results[name][i]
+            value = meas.log_time if quantity == "time" else meas.log_memory_mib
+            cells.append(f"{value:12.2f}")
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,312 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``datasets``
+    Print Table II (dataset statistics) at a chosen scale.
+``fit``
+    Train TGAE on a dataset (or an edge-list file) and save the generator.
+``generate``
+    Load a saved generator, sample a graph, write it as an edge list.
+``evaluate``
+    Compare an observed and a generated edge list on all metrics.
+``table``
+    Regenerate one of the paper's tables (4, 5, 6 or 7) on one dataset.
+``sensitivity``
+    Run a hyper-parameter sweep (Sec. V parameter-sensitivity experiment).
+``stats``
+    Print the full statistic report for one graph: Table III statistics on
+    the final cumulative snapshot, the extended structural statistics, and
+    the temporal signature.
+``convert``
+    Bin a continuous-time event stream (``src dst time`` with float times)
+    into a ``T``-snapshot edge list, or smear a snapshot edge list back into
+    an event stream.
+``report``
+    Full markdown evaluation report (statistics, extended, temporal,
+    downstream utility) for an observed/generated edge-list pair.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench import (
+    ablation_table,
+    dataset_table,
+    evaluation_report,
+    format_table,
+    format_value,
+    motif_table,
+    quality_table,
+    render_report,
+    render_sensitivity,
+    sweep_parameter,
+)
+from .core import TGAEConfig, TGAEGenerator, fast_config, load_generator, save_generator
+from .datasets import available_datasets, load_dataset
+from .graph import (
+    cumulative_snapshots,
+    from_temporal_graph,
+    load_edge_list,
+    load_event_stream,
+    save_edge_list,
+    save_event_stream,
+)
+from .metrics import (
+    EXTENDED_STATISTIC_FUNCTIONS,
+    compare_graphs,
+    compute_all_statistics,
+    motif_distribution,
+    motif_mmd,
+    temporal_signature,
+)
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.scale)
+    if args.input:
+        return load_edge_list(args.input)
+    raise SystemExit("either --dataset or --input is required")
+
+
+def _add_graph_source(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=available_datasets(), help="registry dataset")
+    parser.add_argument("--scale", default="small", choices=["small", "medium", "paper"])
+    parser.add_argument("--input", help="edge-list file (src dst t per line)")
+
+
+def _add_config(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--epochs", type=int, default=120)
+    parser.add_argument("--radius", type=int, default=2)
+    parser.add_argument("--threshold", type=int, default=10)
+    parser.add_argument("--initial-nodes", type=int, default=64)
+    parser.add_argument("--learning-rate", type=float, default=1e-2)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _config_from(args: argparse.Namespace) -> TGAEConfig:
+    return fast_config(
+        epochs=args.epochs,
+        radius=args.radius,
+        neighbor_threshold=args.threshold,
+        num_initial_nodes=args.initial_nodes,
+        learning_rate=args.learning_rate,
+        seed=args.seed,
+    )
+
+
+def cmd_datasets(args: argparse.Namespace) -> int:
+    table = dataset_table(available_datasets(), scale=args.scale)
+    print(f"{'dataset':12s} {'nodes':>9s} {'edges':>9s} {'timestamps':>11s}")
+    for name, stats in table.items():
+        print(f"{name:12s} {stats['nodes']:9d} {stats['edges']:9d} {stats['timestamps']:11d}")
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    print(f"observed: {graph}")
+    generator = TGAEGenerator(_config_from(args)).fit(graph)
+    losses = generator.history.losses
+    print(f"trained {len(losses)} epochs: loss {losses[0]:.3f} -> {losses[-1]:.3f}")
+    save_generator(generator, args.model)
+    print(f"saved model to {args.model}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    generator = load_generator(args.model)
+    generated = generator.generate(seed=args.seed)
+    save_edge_list(generated, args.output)
+    print(f"wrote {generated} to {args.output}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    observed = load_edge_list(args.observed)
+    generated = load_edge_list(args.generated)
+    scores = compare_graphs(observed, generated, reduction=args.reduction)
+    print(f"{'statistic':16s} {'score':>10s}")
+    for metric, value in scores.items():
+        print(f"{metric:16s} {format_value(value):>10s}")
+    mmd = motif_mmd(
+        motif_distribution(observed, args.delta),
+        motif_distribution(generated, args.delta),
+    )
+    print(f"{'motif_mmd':16s} {format_value(mmd):>10s}")
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    config = _config_from(args)
+    if args.number in (4, 5):
+        reduction = "median" if args.number == 4 else "mean"
+        table = quality_table(graph, reduction=reduction, tgae_config=config)
+        print(format_table(table))
+    elif args.number == 6:
+        scores = motif_table(graph, delta=args.delta, tgae_config=config)
+        for method, value in sorted(scores.items(), key=lambda kv: kv[1]):
+            print(f"{method:10s} {format_value(value)}")
+    elif args.number == 7:
+        table = ablation_table(graph, config=config, delta=args.delta)
+        print(format_table(table))
+    else:
+        raise SystemExit("table number must be 4, 5, 6, or 7")
+    return 0
+
+
+def cmd_sensitivity(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    config = _config_from(args)
+    points = sweep_parameter(graph, config, args.parameter, args.values, seed=args.seed)
+    print(render_sensitivity(points))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    final = cumulative_snapshots(graph)[-1]
+    print(f"graph: n={graph.num_nodes} m={graph.num_edges} T={graph.num_timestamps}")
+    print("\nTable III statistics (final cumulative snapshot)")
+    for metric, value in compute_all_statistics(final).items():
+        print(f"  {metric:20s} {format_value(value):>12s}")
+    print("\nextended structural statistics")
+    for metric, func in EXTENDED_STATISTIC_FUNCTIONS.items():
+        print(f"  {metric:20s} {format_value(func(final)):>12s}")
+    print("\ntemporal signature")
+    for metric, value in temporal_signature(graph).items():
+        print(f"  {metric:20s} {format_value(value):>12s}")
+    return 0
+
+
+def _align_timestamps(observed, generated):
+    """Give both graphs the same T (reindexing is per-file and may differ)."""
+    from .graph import TemporalGraph
+
+    T = max(observed.num_timestamps, generated.num_timestamps)
+    rebuild = lambda g: TemporalGraph(
+        g.num_nodes, g.src, g.dst, g.t, num_timestamps=T, validate=False
+    )
+    return rebuild(observed), rebuild(generated)
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    observed = load_edge_list(args.observed)
+    generated = load_edge_list(args.generated)
+    observed, generated = _align_timestamps(observed, generated)
+    report = evaluation_report(
+        observed,
+        generated,
+        delta=args.delta,
+        include_utility=not args.fast,
+        include_significance=not args.fast,
+    )
+    text = render_report(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote report to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    if args.to == "snapshots":
+        stream = load_event_stream(args.input)
+        graph = stream.to_temporal_graph(args.bins, policy=args.policy)
+        save_edge_list(graph, args.output)
+        print(f"wrote {graph} to {args.output}")
+    else:
+        graph = load_edge_list(args.input)
+        stream = from_temporal_graph(
+            graph, bin_width=args.bin_width, spread=args.spread, seed=args.seed
+        )
+        save_event_stream(stream, args.output)
+        print(f"wrote {stream} to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TGAE temporal graph simulation (ICDE 2025 repro)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="print Table II dataset statistics")
+    p.add_argument("--scale", default="small", choices=["small", "medium", "paper"])
+    p.set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("fit", help="train TGAE and save the generator")
+    _add_graph_source(p)
+    _add_config(p)
+    p.add_argument("--model", required=True, help="output .npz path")
+    p.set_defaults(fn=cmd_fit)
+
+    p = sub.add_parser("generate", help="sample a graph from a saved generator")
+    p.add_argument("--model", required=True)
+    p.add_argument("--output", required=True, help="output edge-list path")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("evaluate", help="compare observed vs generated edge lists")
+    p.add_argument("--observed", required=True)
+    p.add_argument("--generated", required=True)
+    p.add_argument("--reduction", default="mean", choices=["mean", "median"])
+    p.add_argument("--delta", type=int, default=3)
+    p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser("table", help="regenerate a paper table on one dataset")
+    p.add_argument("number", type=int, choices=[4, 5, 6, 7])
+    _add_graph_source(p)
+    _add_config(p)
+    p.add_argument("--delta", type=int, default=2)
+    p.set_defaults(fn=cmd_table)
+
+    p = sub.add_parser("sensitivity", help="hyper-parameter sensitivity sweep")
+    _add_graph_source(p)
+    _add_config(p)
+    p.add_argument("--parameter", default="num_initial_nodes")
+    p.add_argument("--values", type=int, nargs="+", default=[16, 32, 64])
+    p.set_defaults(fn=cmd_sensitivity)
+
+    p = sub.add_parser("stats", help="print the full statistic report for one graph")
+    _add_graph_source(p)
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("report", help="full markdown evaluation report for a simulation")
+    p.add_argument("--observed", required=True)
+    p.add_argument("--generated", required=True)
+    p.add_argument("--output", help="write markdown here instead of stdout")
+    p.add_argument("--delta", type=int, default=2)
+    p.add_argument("--fast", action="store_true",
+                   help="skip the utility and significance sections")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("convert", help="convert between event streams and snapshots")
+    p.add_argument("--to", required=True, choices=["snapshots", "events"])
+    p.add_argument("--input", required=True)
+    p.add_argument("--output", required=True)
+    p.add_argument("--bins", type=int, default=16, help="T for --to snapshots")
+    p.add_argument(
+        "--policy", default="equal_width", choices=["equal_width", "equal_frequency"]
+    )
+    p.add_argument("--bin-width", type=float, default=1.0, help="for --to events")
+    p.add_argument("--spread", default="uniform", choices=["uniform", "start"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_convert)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""TGAE: the paper's primary contribution (Sec. IV)."""
+
+from .config import NO_TRUNCATION, TGAEConfig, fast_config
+from .decoder import DecoderOutput, EgoGraphDecoder
+from .encoder import TGAEEncoder
+from .generator import TGAEGenerator
+from .persistence import load_generator, save_generator
+from .loss import adjacency_target_rows, reconstruction_loss, tgae_loss
+from .model import TGAEModel
+from .sampler import EgoGraphSampler, TrainingBatch
+from .trainer import TrainingHistory, train_tgae
+from .continuous import ContinuousTimeGenerator
+from .upscale import UpscaledGenerator, expand_temporal_graph
+from .variants import VARIANTS, tgae_full, tgae_g, tgae_n, tgae_p, tgae_t
+
+__all__ = [
+    "save_generator",
+    "load_generator",
+    "TGAEConfig",
+    "fast_config",
+    "NO_TRUNCATION",
+    "TGAEEncoder",
+    "EgoGraphDecoder",
+    "DecoderOutput",
+    "TGAEModel",
+    "EgoGraphSampler",
+    "TrainingBatch",
+    "train_tgae",
+    "TrainingHistory",
+    "tgae_loss",
+    "reconstruction_loss",
+    "adjacency_target_rows",
+    "TGAEGenerator",
+    "VARIANTS",
+    "tgae_full",
+    "tgae_g",
+    "tgae_t",
+    "tgae_n",
+    "tgae_p",
+    "ContinuousTimeGenerator",
+    "UpscaledGenerator",
+    "expand_temporal_graph",
+]

@@ -1,0 +1,139 @@
+"""Configuration for the TGAE model family.
+
+One frozen dataclass collects every hyper-parameter of the paper's Sec. IV,
+including the switches that define the four ablation variants of Sec. IV-F.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+
+#: Sentinel for "no neighbour truncation" (the TGAE-t ablation variant).
+NO_TRUNCATION: int = 1_000_000_000
+
+
+@dataclass(frozen=True)
+class TGAEConfig:
+    """Hyper-parameters of the Temporal Graph Auto-Encoder.
+
+    Attributes
+    ----------
+    radius:
+        Ego-graph radius ``k`` = number of stacked TGAT layers.
+    neighbor_threshold:
+        Truncation ``th`` of Alg. 1.  Values ``<= 2`` degenerate ego-graphs
+        into temporal random walks (the TGAE-g variant); use
+        :data:`NO_TRUNCATION` for the TGAE-t variant.
+    time_window:
+        Temporal window ``t_N`` of Definition 3.
+    embed_dim:
+        Width of the node-identity input embedding (the paper's default node
+        features are node identities, Sec. IV-B).
+    hidden_dim:
+        Width ``d_att`` of the TGAT hidden representations.
+    latent_dim:
+        Width of the variational latent ``Z``.
+    num_heads:
+        Attention heads ``h_tga`` (Eq. 3).
+    time_dim:
+        Width of the sinusoidal time encoding inside each TGAT layer.
+    num_initial_nodes:
+        ``n_s`` -- centre nodes sampled per training step (also the parallel
+        batch size ``b`` of the bipartite computation graphs).
+    uniform_initial_sampling:
+        Replace the Eq. 2 degree-weighted initial sampling with uniform
+        sampling (the TGAE-n variant).
+    probabilistic:
+        When ``False``, use the non-probabilistic decoder of Eq. 8/9
+        (the TGAE-p variant): no sigma head, no KL term.
+    decode_neighbors:
+        Also reconstruct the adjacency rows of first-order neighbours during
+        training (depth-2 of the recursive decoding of Alg. 2).
+    candidate_limit:
+        When positive, the decoder scores only a *candidate set* of roughly
+        this many nodes per centre (observed neighbours + uniform negatives)
+        instead of the full node universe -- a sampled-softmax approximation
+        that removes the O(n) decoder cost per row.  This implements the
+        paper's future-work direction of scaling learning-based simulation
+        to very large node universes.  ``0`` (default) keeps the exact dense
+        decoder of Alg. 2.
+    epochs, learning_rate, kl_weight, grad_clip:
+        Optimisation settings for Eq. 7.
+    seed:
+        Seed controlling parameter init and sampling during training.
+    """
+
+    radius: int = 2
+    neighbor_threshold: int = 20
+    time_window: int = 2
+    embed_dim: int = 32
+    hidden_dim: int = 32
+    latent_dim: int = 16
+    num_heads: int = 2
+    time_dim: int = 8
+    num_initial_nodes: int = 64
+    uniform_initial_sampling: bool = False
+    probabilistic: bool = True
+    decode_neighbors: bool = True
+    candidate_limit: int = 0
+    epochs: int = 30
+    learning_rate: float = 5e-3
+    kl_weight: float = 1e-3
+    grad_clip: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.radius < 1:
+            raise ConfigError(f"radius must be >= 1, got {self.radius}")
+        if self.neighbor_threshold < 1:
+            raise ConfigError("neighbor_threshold must be >= 1")
+        if self.time_window < 0:
+            raise ConfigError("time_window must be >= 0")
+        for field_name in ("embed_dim", "hidden_dim", "latent_dim", "num_heads",
+                           "num_initial_nodes", "epochs"):
+            if getattr(self, field_name) < 1:
+                raise ConfigError(f"{field_name} must be >= 1")
+        if self.learning_rate <= 0:
+            raise ConfigError("learning_rate must be positive")
+        if self.kl_weight < 0:
+            raise ConfigError("kl_weight must be non-negative")
+        if self.candidate_limit < 0:
+            raise ConfigError("candidate_limit must be >= 0 (0 = dense decoder)")
+
+    # Convenience constructors for the ablation variants (Sec. IV-F).
+    def as_random_walk_variant(self) -> "TGAEConfig":
+        """TGAE-g: chain-shaped ego-graphs (threshold below 2)."""
+        return replace(self, neighbor_threshold=1)
+
+    def as_no_truncation_variant(self) -> "TGAEConfig":
+        """TGAE-t: disable neighbour truncation."""
+        return replace(self, neighbor_threshold=NO_TRUNCATION)
+
+    def as_uniform_sampling_variant(self) -> "TGAEConfig":
+        """TGAE-n: uniform initial node sampling."""
+        return replace(self, uniform_initial_sampling=True)
+
+    def as_non_probabilistic_variant(self) -> "TGAEConfig":
+        """TGAE-p: deterministic decoder, no KL."""
+        return replace(self, probabilistic=False)
+
+
+def fast_config(**overrides) -> TGAEConfig:
+    """A small configuration suitable for tests and CI-scale benchmarks."""
+    defaults = dict(
+        radius=2,
+        neighbor_threshold=10,
+        time_window=2,
+        embed_dim=16,
+        hidden_dim=16,
+        latent_dim=8,
+        num_heads=2,
+        time_dim=4,
+        num_initial_nodes=32,
+        epochs=8,
+        learning_rate=1e-2,
+    )
+    defaults.update(overrides)
+    return TGAEConfig(**defaults)

@@ -1,0 +1,142 @@
+"""Continuous-time generation: the Sec. III extension, end to end.
+
+The paper models temporal graphs as snapshot series but states the approach
+"can be extended to process and generate graphs that reflect the temporal
+changes among all time stamps".  This module delivers that extension as an
+API: :class:`ContinuousTimeGenerator` accepts a raw
+:class:`~repro.graph.event_stream.EventStream`, bins it for the wrapped
+snapshot generator (TGAE or any baseline), and lifts the generated snapshots
+back to continuous time.
+
+The lift is the part that matters.  A naive uniform smear inside each bin
+destroys within-bin temporal texture (burstiness collapses toward the
+Poisson value).  Instead, the generator learns each bin's *empirical
+within-bin offset distribution* from the observed stream and bootstraps
+generated event times from it, so bursty bins stay bursty and quiet bins
+stay quiet -- verified against the uniform smear by the tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..base import TemporalGraphGenerator
+from ..errors import ConfigError, NotFittedError
+from ..graph.discretize import discretize_timestamps
+from ..graph.event_stream import EventStream
+from ..graph.temporal_graph import TemporalGraph
+
+
+class ContinuousTimeGenerator:
+    """Fit on an event stream, generate an event stream.
+
+    Parameters
+    ----------
+    base:
+        Any snapshot-level :class:`~repro.base.TemporalGraphGenerator`;
+        it sees the binned view and never deals with raw times.
+    num_bins:
+        Number of snapshots ``T`` used for the discrete view.
+    policy:
+        Binning policy (``"equal_width"`` or ``"equal_frequency"``), passed
+        to :func:`repro.graph.discretize.discretize_timestamps`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.baselines import ErdosRenyiGenerator
+    >>> from repro.core.continuous import ContinuousTimeGenerator
+    >>> from repro.graph import EventStream
+    >>> rng = np.random.default_rng(0)
+    >>> stream = EventStream(10, rng.integers(0, 10, 60),
+    ...                      rng.integers(0, 10, 60), rng.uniform(0, 5, 60))
+    >>> gen = ContinuousTimeGenerator(ErdosRenyiGenerator(), num_bins=5)
+    >>> synthetic = gen.fit(stream).generate(seed=0)
+    >>> synthetic.num_events == stream.num_events
+    True
+    """
+
+    def __init__(
+        self,
+        base: TemporalGraphGenerator,
+        num_bins: int = 16,
+        policy: str = "equal_width",
+    ) -> None:
+        if num_bins < 1:
+            raise ConfigError(f"num_bins must be >= 1, got {num_bins}")
+        if policy not in ("equal_width", "equal_frequency"):
+            raise ConfigError(
+                f"unknown policy {policy!r}; options: equal_width, equal_frequency"
+            )
+        self.base = base
+        self.num_bins = int(num_bins)
+        self.policy = policy
+        self.name = f"continuous-{getattr(base, 'name', type(base).__name__)}"
+        self._boundaries: Optional[np.ndarray] = None
+        self._bin_offsets: Optional[List[np.ndarray]] = None
+        self._observed: Optional[EventStream] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._observed is not None
+
+    # ------------------------------------------------------------------
+    def fit(self, stream: EventStream) -> "ContinuousTimeGenerator":
+        """Bin the stream, fit the wrapped generator, learn bin offsets."""
+        bins, boundaries = discretize_timestamps(
+            stream.times, self.num_bins, policy=self.policy
+        )
+        graph = TemporalGraph(
+            stream.num_nodes, stream.src, stream.dst, bins,
+            num_timestamps=self.num_bins,
+        )
+        self.base.fit(graph)
+        # Normalised within-bin offsets (in [0, 1]) per bin: the empirical
+        # intra-bin arrival profile that the lift bootstraps from.
+        offsets: List[np.ndarray] = []
+        for b in range(self.num_bins):
+            lo, hi = boundaries[b], boundaries[b + 1]
+            width = max(hi - lo, 1e-12)
+            inside = stream.times[bins == b]
+            offsets.append(np.sort((inside - lo) / width))
+        self._boundaries = boundaries
+        self._bin_offsets = offsets
+        self._observed = stream
+        return self
+
+    def generate(self, seed: Optional[int] = None) -> EventStream:
+        """Generate snapshots with the wrapped model and lift them to times."""
+        if self._observed is None or self._boundaries is None:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")
+        graph = self.base.generate(seed=seed)
+        rng = np.random.default_rng(seed)
+        assert self._bin_offsets is not None
+        times = np.empty(graph.num_edges, dtype=np.float64)
+        for b in range(self.num_bins):
+            mask = graph.t == b
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            lo, hi = self._boundaries[b], self._boundaries[b + 1]
+            width = max(hi - lo, 1e-12)
+            observed_offsets = self._bin_offsets[b]
+            if observed_offsets.size:
+                # Bootstrap the empirical intra-bin profile with a small
+                # smoothing jitter (half a typical gap) so repeated draws do
+                # not collide exactly.
+                picks = rng.choice(observed_offsets, size=count)
+                jitter_scale = 0.5 / max(observed_offsets.size, 1)
+                picks = np.clip(
+                    picks + rng.uniform(-jitter_scale, jitter_scale, size=count),
+                    0.0,
+                    1.0,
+                )
+            else:
+                picks = rng.uniform(0.0, 1.0, size=count)
+            times[mask] = lo + picks * width
+        return EventStream(graph.num_nodes, graph.src, graph.dst, times)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(base={self.base!r}, T={self.num_bins})"

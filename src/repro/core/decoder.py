@@ -1,0 +1,142 @@
+"""TGAE variational ego-graph decoder (Sec. IV-D, Alg. 2).
+
+Two MLP heads infer the parameters ``mu`` and ``sigma`` of the latent prior
+from the input features of the sampled centre nodes; a reparameterised
+sample ``Z = mu + sigma * noise`` is added to the encoder's hidden variable
+``h_{u^t}``, and edge probabilities over the whole node universe are read
+out through ``softmax(h W_dec + b_dec)`` -- exactly the ``EdgeProbability``
+routine of Alg. 2 in batched form.
+
+The non-probabilistic variant (TGAE-p, Eq. 8) bypasses the sigma head and
+the sampling step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import MLP, Module, Parameter
+from ..nn import init as nn_init
+from .config import TGAEConfig
+
+
+@dataclass
+class DecoderOutput:
+    """Decoded quantities for a batch of centre nodes.
+
+    Attributes
+    ----------
+    logits:
+        ``(batch, num_nodes)`` unnormalised edge scores; ``softmax`` over the
+        last axis yields the categorical edge distribution of Alg. 2.
+    mu, log_sigma:
+        Variational posterior parameters (``log_sigma`` is ``None`` for the
+        non-probabilistic variant).
+    latent:
+        The (sampled or deterministic) latent actually used for decoding.
+    """
+
+    logits: Tensor
+    mu: Tensor
+    log_sigma: Optional[Tensor]
+    latent: Tensor
+
+
+class EgoGraphDecoder(Module):
+    """Variational decoder producing per-node edge distributions."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        config: TGAEConfig,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(config.seed + 1)
+        self.config = config
+        self.num_nodes = num_nodes
+        hidden = config.hidden_dim
+        latent = config.latent_dim
+        self.mlp_mu = MLP([config.embed_dim, hidden, latent], rng=rng)
+        self.mlp_sigma = MLP([config.embed_dim, hidden, latent], rng=rng) if config.probabilistic else None
+        # Project latent into the hidden space so it can be added to h_{u^t}
+        # ("h <- h_ut + Z(v,:)" of Alg. 2 with a width adapter).
+        self.latent_proj = Parameter(nn_init.xavier_uniform((latent, hidden), rng))
+        self.w_dec = Parameter(nn_init.xavier_uniform((hidden, num_nodes), rng))
+        self.b_dec = Parameter(nn_init.zeros((num_nodes,)))
+        self._noise_rng = np.random.default_rng(config.seed + 2)
+
+    def forward(
+        self,
+        center_hidden: Tensor,
+        center_features: Tensor,
+        sample: bool = True,
+    ) -> DecoderOutput:
+        """Decode a batch of centres.
+
+        Parameters
+        ----------
+        center_hidden:
+            ``(batch, hidden)`` encoder outputs ``h_{u^t}``.
+        center_features:
+            ``(batch, embed)`` input features ``X_ego`` of the centres, from
+            which the latent posterior parameters are inferred (Alg. 2 lines
+            2-3).
+        sample:
+            Draw the reparameterised latent; when ``False`` (inference time)
+            the mean ``mu`` is used.
+        """
+        mu = self.mlp_mu(center_features)
+        log_sigma: Optional[Tensor] = None
+        if self.config.probabilistic and self.mlp_sigma is not None:
+            log_sigma = self.mlp_sigma(center_features).clip(-6.0, 4.0)
+            if sample:
+                noise = self._noise_rng.standard_normal(mu.shape)
+                latent = mu + log_sigma.exp() * Tensor(noise)
+            else:
+                latent = mu
+        else:
+            latent = mu
+        h = center_hidden + latent @ self.latent_proj
+        logits = h @ self.w_dec + self.b_dec
+        return DecoderOutput(logits=logits, mu=mu, log_sigma=log_sigma, latent=latent)
+
+    def forward_candidates(
+        self,
+        center_hidden: Tensor,
+        center_features: Tensor,
+        candidates: np.ndarray,
+        sample: bool = True,
+    ) -> DecoderOutput:
+        """Sampled-softmax decoding over per-centre candidate sets.
+
+        ``candidates`` is a ``(batch, C)`` integer array of node ids; only
+        those ``C`` columns of ``W_dec`` are scored, so the cost per row is
+        O(C) instead of O(n).  The returned ``logits`` have shape
+        ``(batch, C)`` and index *into the candidate set*, not the node
+        universe.
+        """
+        candidates = np.asarray(candidates, dtype=np.int64)
+        batch, width = candidates.shape
+        mu = self.mlp_mu(center_features)
+        log_sigma: Optional[Tensor] = None
+        if self.config.probabilistic and self.mlp_sigma is not None:
+            log_sigma = self.mlp_sigma(center_features).clip(-6.0, 4.0)
+            if sample:
+                noise = self._noise_rng.standard_normal(mu.shape)
+                latent = mu + log_sigma.exp() * Tensor(noise)
+            else:
+                latent = mu
+        else:
+            latent = mu
+        h = center_hidden + latent @ self.latent_proj  # (batch, hidden)
+        flat = candidates.reshape(-1)
+        # Columns of W_dec gathered per candidate: (batch*C, hidden).
+        w_cols = self.w_dec.T.take_rows(flat).reshape(batch, width, -1)
+        bias = self.b_dec.take_rows(flat).reshape(batch, width)
+        logits = (w_cols * h.reshape(batch, 1, -1)).sum(axis=-1) + bias
+        return DecoderOutput(logits=logits, mu=mu, log_sigma=log_sigma, latent=latent)

@@ -1,0 +1,149 @@
+"""TGAE training objective (Eqs. 6-7).
+
+The approximate mini-batch loss of Eq. 7:
+
+    L = - (1 / n_s) * sum_{u^t in V_s}  A_{u^t} . log softmax(logits_{u^t})
+        + kl_weight * KL( q(Z | X) || N(0, I) )
+
+where ``A_{u^t}`` is the observed adjacency row of the centre node at its
+timestamp.  The reconstruction term is a multi-target cross entropy: the
+target distribution places equal mass on each observed out-neighbour.  The
+non-probabilistic variant (Eq. 9) omits the KL term.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Tensor, kl_standard_normal, log_softmax
+from ..errors import ShapeError
+from .decoder import DecoderOutput
+
+
+def reconstruction_loss(logits: Tensor, target_rows: Sequence[np.ndarray]) -> Tensor:
+    """Cross-entropy between decoded distributions and observed neighbour rows.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, num_nodes)`` decoder outputs.
+    target_rows:
+        Per-centre arrays of observed out-neighbour node ids (may contain
+        repeats for multi-edges; repeats increase that neighbour's mass).
+        Centres with no observed out-edge contribute nothing.
+    """
+    batch, num_nodes = logits.shape
+    if len(target_rows) != batch:
+        raise ShapeError(f"{len(target_rows)} target rows for batch of {batch}")
+    dense = np.zeros((batch, num_nodes), dtype=np.float64)
+    active = 0
+    for row_idx, neighbors in enumerate(target_rows):
+        neigh = np.asarray(neighbors, dtype=np.int64).reshape(-1)
+        if neigh.size == 0:
+            continue
+        np.add.at(dense[row_idx], neigh, 1.0)
+        dense[row_idx] /= dense[row_idx].sum()
+        active += 1
+    if active == 0:
+        return Tensor(np.zeros(()))
+    logp = log_softmax(logits, axis=-1)
+    per_center = -(logp * Tensor(dense)).sum(axis=-1)
+    # Average over *active* centres (the 1/n_s of Eq. 7 with empty rows dropped).
+    return per_center.sum() * (1.0 / active)
+
+
+def tgae_loss(
+    decoded: DecoderOutput,
+    target_rows: Sequence[np.ndarray],
+    kl_weight: float,
+    candidates: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Full Eq. 7 objective (or Eq. 9 when the decoder is non-probabilistic).
+
+    When ``candidates`` is given, the decoder logits index into the
+    per-centre candidate sets (sampled-softmax mode) and the targets are
+    remapped onto candidate positions.
+    """
+    if candidates is None:
+        loss = reconstruction_loss(decoded.logits, target_rows)
+    else:
+        loss = candidate_reconstruction_loss(decoded.logits, candidates, target_rows)
+    if decoded.log_sigma is not None and kl_weight > 0:
+        loss = loss + kl_weight * kl_standard_normal(decoded.mu, decoded.log_sigma)
+    return loss
+
+
+def candidate_reconstruction_loss(
+    logits: Tensor,
+    candidates: np.ndarray,
+    target_rows: Sequence[np.ndarray],
+) -> Tensor:
+    """Cross-entropy over per-centre candidate sets (sampled softmax).
+
+    ``logits`` is ``(batch, C)`` aligned with ``candidates``; each target
+    node id is mapped to its first position in the centre's candidate row
+    (positives are guaranteed present by the sampler).
+    """
+    batch, width = logits.shape
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if candidates.shape != (batch, width):
+        raise ShapeError(
+            f"candidates shape {candidates.shape} != logits shape {(batch, width)}"
+        )
+    if len(target_rows) != batch:
+        raise ShapeError(f"{len(target_rows)} target rows for batch of {batch}")
+    dense = np.zeros((batch, width), dtype=np.float64)
+    active = 0
+    for row_idx, neighbors in enumerate(target_rows):
+        neigh = np.asarray(neighbors, dtype=np.int64).reshape(-1)
+        if neigh.size == 0:
+            continue
+        row_candidates = candidates[row_idx]
+        for target in neigh:
+            positions = np.nonzero(row_candidates == target)[0]
+            if positions.size:
+                dense[row_idx, positions[0]] += 1.0
+        total = dense[row_idx].sum()
+        if total > 0:
+            dense[row_idx] /= total
+            active += 1
+    if active == 0:
+        return Tensor(np.zeros(()))
+    logp = log_softmax(logits, axis=-1)
+    per_center = -(logp * Tensor(dense)).sum(axis=-1)
+    return per_center.sum() * (1.0 / active)
+
+
+def adjacency_target_rows(
+    src: np.ndarray,
+    dst: np.ndarray,
+    t: np.ndarray,
+    centers: np.ndarray,
+) -> List[np.ndarray]:
+    """Observed out-neighbour rows ``A_{u^t}`` for a batch of centre nodes.
+
+    Parameters
+    ----------
+    src, dst, t:
+        Edge arrays of the observed graph.
+    centers:
+        ``(batch, 2)`` array of ``(node_id, timestamp)`` centres.
+
+    Returns
+    -------
+    One array of out-neighbour ids per centre (empty when the centre emits
+    no edge at its timestamp).
+    """
+    order = np.lexsort((dst, t, src))
+    s_sorted, t_sorted, d_sorted = src[order], t[order], dst[order]
+    keys = s_sorted * (int(t.max(initial=0)) + 2) + t_sorted
+    rows: List[np.ndarray] = []
+    base = int(t.max(initial=0)) + 2
+    for i in range(centers.shape[0]):
+        key = int(centers[i, 0]) * base + int(centers[i, 1])
+        lo = np.searchsorted(keys, key, side="left")
+        hi = np.searchsorted(keys, key, side="right")
+        rows.append(d_sorted[lo:hi].copy())
+    return rows

@@ -1,0 +1,69 @@
+"""The Temporal Graph Auto-Encoder module: encoder + variational decoder."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.bipartite import BipartiteBatch
+from ..nn import Module
+from .config import TGAEConfig
+from .decoder import DecoderOutput, EgoGraphDecoder
+from .encoder import TGAEEncoder
+
+
+class TGAEModel(Module):
+    """End-to-end TGAE: bipartite batch in, edge distributions out.
+
+    The module owns the encoder (Sec. IV-C) and the decoder (Sec. IV-D);
+    sampling and training logic live in :mod:`repro.core.sampler` and
+    :mod:`repro.core.trainer`, generation in :mod:`repro.core.generator`.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_timestamps: int,
+        config: TGAEConfig,
+        rng: Optional[np.random.Generator] = None,
+        feature_dim: int = 0,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(config.seed)
+        self.config = config
+        self.num_nodes = num_nodes
+        self.num_timestamps = num_timestamps
+        self.encoder = TGAEEncoder(
+            num_nodes, num_timestamps, config, rng=rng, feature_dim=feature_dim
+        )
+        self.decoder = EgoGraphDecoder(num_nodes, config, rng=rng)
+
+    def forward(
+        self,
+        batch: BipartiteBatch,
+        sample: bool = True,
+        candidates: Optional[np.ndarray] = None,
+    ) -> DecoderOutput:
+        """Encode the batch's centres and decode their edge distributions.
+
+        Parameters
+        ----------
+        batch:
+            Merged ego-graphs in k-bipartite form.
+        sample:
+            Forwarded to the decoder: reparameterised latent (training) vs
+            posterior mean (inference).
+        candidates:
+            Optional ``(batch, C)`` candidate sets; when given the decoder
+            runs in sampled-softmax mode and the returned logits index into
+            the candidate sets instead of the node universe.
+        """
+        center_nodes = batch.level_nodes[0][batch.center_index]
+        center_hidden = self.encoder.encode_centers(batch)
+        center_features = self.encoder.node_features(center_nodes)
+        if candidates is not None:
+            return self.decoder.forward_candidates(
+                center_hidden, center_features, candidates, sample=sample
+            )
+        return self.decoder(center_hidden, center_features, sample=sample)

@@ -1,0 +1,118 @@
+"""Training-batch construction: Alg. 1 sampling + Fig. 4 merging + targets.
+
+One :class:`TrainingBatch` bundles everything a TGAE optimisation step needs:
+the merged bipartite computation graphs for ``n_s`` degree-weighted centre
+nodes and the observed adjacency rows those centres must reconstruct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..graph.bipartite import BipartiteBatch, build_bipartite_batch
+from ..graph.ego_graph import ego_graph_batch, sample_initial_nodes
+from ..graph.temporal_graph import TemporalGraph
+from .config import TGAEConfig
+from .loss import adjacency_target_rows
+
+
+@dataclass
+class TrainingBatch:
+    """One mini-batch: bipartite computation graphs + reconstruction targets.
+
+    ``candidates`` is populated only in sampled-softmax mode
+    (``config.candidate_limit > 0``): a ``(batch, C)`` array of node ids the
+    decoder scores instead of the full universe.
+    """
+
+    bipartite: BipartiteBatch
+    centers: np.ndarray
+    target_rows: List[np.ndarray]
+    candidates: Optional[np.ndarray] = None
+
+
+class EgoGraphSampler:
+    """Stateful sampler producing :class:`TrainingBatch` objects.
+
+    Parameters
+    ----------
+    graph:
+        The observed temporal graph.
+    config:
+        TGAE hyper-parameters (radius, threshold, window, ``n_s`` and the
+        TGAE-n uniform-sampling switch).
+    rng:
+        Random generator driving both initial-node and neighbour sampling.
+    """
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        config: TGAEConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.graph = graph
+        self.config = config
+        self.rng = rng
+
+    def sample_centers(self, count: int) -> np.ndarray:
+        """Draw centre temporal nodes per Eq. 2 (or uniformly for TGAE-n)."""
+        return sample_initial_nodes(
+            self.graph,
+            count,
+            self.rng,
+            uniform=self.config.uniform_initial_sampling,
+        )
+
+    def batch_for_centers(self, centers: np.ndarray) -> TrainingBatch:
+        """Build the bipartite batch + targets for explicit centres."""
+        egos = ego_graph_batch(
+            self.graph,
+            centers,
+            radius=self.config.radius,
+            threshold=self.config.neighbor_threshold,
+            time_window=self.config.time_window,
+            rng=self.rng,
+        )
+        bipartite = build_bipartite_batch(egos)
+        targets = adjacency_target_rows(
+            self.graph.src, self.graph.dst, self.graph.t, centers
+        )
+        candidates = None
+        if self.config.candidate_limit > 0:
+            candidates = self.build_candidates(centers, targets)
+        return TrainingBatch(
+            bipartite=bipartite, centers=centers, target_rows=targets,
+            candidates=candidates,
+        )
+
+    def build_candidates(
+        self, centers: np.ndarray, target_rows: List[np.ndarray]
+    ) -> np.ndarray:
+        """Per-centre candidate sets for sampled-softmax decoding.
+
+        Each row holds the centre's observed (positive) targets followed by
+        uniform negative samples, padded/truncated to ``candidate_limit``.
+        Positives always survive truncation so the reconstruction signal is
+        never dropped.
+        """
+        limit = self.config.candidate_limit
+        n = self.graph.num_nodes
+        out = np.empty((centers.shape[0], limit), dtype=np.int64)
+        for row, targets in enumerate(target_rows):
+            positives = np.unique(np.asarray(targets, dtype=np.int64))[:limit]
+            fill = limit - positives.size
+            negatives = self.rng.integers(0, n, size=fill) if fill > 0 else np.array(
+                [], dtype=np.int64
+            )
+            out[row, : positives.size] = positives
+            out[row, positives.size :] = negatives
+        return out
+
+    def next_batch(self) -> TrainingBatch:
+        """Sample a fresh training batch of ``n_s`` centres."""
+        centers = self.sample_centers(self.config.num_initial_nodes)
+        return self.batch_for_centers(centers)

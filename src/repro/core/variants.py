@@ -1,0 +1,67 @@
+"""Ablation variants of TGAE (Sec. IV-F, Table VII).
+
+Factory functions return fully-configured :class:`TGAEGenerator` objects:
+
+* :func:`tgae_full`  -- the complete model;
+* :func:`tgae_g`     -- ego-graph sampling degraded to temporal random walks
+  (threshold below 2 makes every ego-graph a chain);
+* :func:`tgae_t`     -- neighbour truncation disabled;
+* :func:`tgae_n`     -- uniform initial node sampling (no Eq. 2 re-weighting);
+* :func:`tgae_p`     -- non-probabilistic decoder (Eq. 8/9).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .config import TGAEConfig
+from .generator import TGAEGenerator
+
+
+def tgae_full(config: Optional[TGAEConfig] = None) -> TGAEGenerator:
+    """The complete TGAE model."""
+    gen = TGAEGenerator(config if config is not None else TGAEConfig())
+    gen.name = "TGAE"
+    return gen
+
+
+def tgae_g(config: Optional[TGAEConfig] = None) -> TGAEGenerator:
+    """TGAE-g: random-walk-shaped ego-graphs."""
+    base = config if config is not None else TGAEConfig()
+    gen = TGAEGenerator(base.as_random_walk_variant())
+    gen.name = "TGAE-g"
+    return gen
+
+
+def tgae_t(config: Optional[TGAEConfig] = None) -> TGAEGenerator:
+    """TGAE-t: no neighbour truncation."""
+    base = config if config is not None else TGAEConfig()
+    gen = TGAEGenerator(base.as_no_truncation_variant())
+    gen.name = "TGAE-t"
+    return gen
+
+
+def tgae_n(config: Optional[TGAEConfig] = None) -> TGAEGenerator:
+    """TGAE-n: uniform initial node sampling."""
+    base = config if config is not None else TGAEConfig()
+    gen = TGAEGenerator(base.as_uniform_sampling_variant())
+    gen.name = "TGAE-n"
+    return gen
+
+
+def tgae_p(config: Optional[TGAEConfig] = None) -> TGAEGenerator:
+    """TGAE-p: non-probabilistic decoder."""
+    base = config if config is not None else TGAEConfig()
+    gen = TGAEGenerator(base.as_non_probabilistic_variant())
+    gen.name = "TGAE-p"
+    return gen
+
+
+#: Variant registry used by the Table VII ablation benchmark.
+VARIANTS: Dict[str, Callable[[Optional[TGAEConfig]], TGAEGenerator]] = {
+    "TGAE": tgae_full,
+    "TGAE-g": tgae_g,
+    "TGAE-t": tgae_t,
+    "TGAE-n": tgae_n,
+    "TGAE-p": tgae_p,
+}

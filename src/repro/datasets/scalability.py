@@ -1,0 +1,77 @@
+"""Scalability-test workloads for Figure 6.
+
+The paper's scalability study sweeps synthetic graphs labelled
+``nodes * timestamps * density`` (e.g. ``1k*10*0.01``): three independent
+axes starting from a base configuration of 1000 nodes, 10 timestamps, and
+edge density 0.01 (so ``m = density * n^2`` temporal edges spread over the
+window).  This module reproduces that grid, with a configurable base scale
+so CPU benchmark runs stay fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigError
+from ..graph.temporal_graph import TemporalGraph
+from .synthetic import erdos_renyi_temporal
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """One grid point of the Figure 6 sweep."""
+
+    num_nodes: int
+    num_timestamps: int
+    density: float
+    seed: int = 7
+
+    @property
+    def num_edges(self) -> int:
+        return max(int(self.density * self.num_nodes * self.num_nodes), 1)
+
+    @property
+    def label(self) -> str:
+        """The paper's axis label, e.g. ``1k*10*0.01``."""
+        n = self.num_nodes
+        n_label = f"{n // 1000}k" if n % 1000 == 0 and n >= 1000 else str(n)
+        return f"{n_label}*{self.num_timestamps}*{self.density:g}"
+
+
+def make_scalability_graph(point: ScalabilityPoint) -> TemporalGraph:
+    """Materialise one grid point as a uniform random temporal graph."""
+    return erdos_renyi_temporal(
+        point.num_nodes, point.num_edges, point.num_timestamps, seed=point.seed
+    )
+
+
+def node_scale_sweep(base_nodes: int = 1000, steps: int = 5) -> List[ScalabilityPoint]:
+    """First Figure 6 column: nodes in ``{1x..5x} * base``, T=10, density 0.01."""
+    _check(base_nodes, steps)
+    return [
+        ScalabilityPoint(base_nodes * (i + 1), 10, 0.01) for i in range(steps)
+    ]
+
+
+def timestamp_scale_sweep(base_nodes: int = 1000, steps: int = 5) -> List[ScalabilityPoint]:
+    """Second Figure 6 column: T in ``{10..50}``, n=base, density 0.01."""
+    _check(base_nodes, steps)
+    return [
+        ScalabilityPoint(base_nodes, 10 * (i + 1), 0.01) for i in range(steps)
+    ]
+
+
+def density_scale_sweep(base_nodes: int = 1000, steps: int = 5) -> List[ScalabilityPoint]:
+    """Third Figure 6 column: density in ``{0.01..0.05}``, n=base, T=10."""
+    _check(base_nodes, steps)
+    return [
+        ScalabilityPoint(base_nodes, 10, 0.01 * (i + 1)) for i in range(steps)
+    ]
+
+
+def _check(base_nodes: int, steps: int) -> None:
+    if base_nodes < 10:
+        raise ConfigError("base_nodes must be at least 10")
+    if steps < 1:
+        raise ConfigError("steps must be positive")

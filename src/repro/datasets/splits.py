@@ -1,0 +1,86 @@
+"""Temporal train/test splitting utilities.
+
+Evaluation protocols for temporal graph models hold out *future* edges
+(prefix split along time) or a random edge subset (edge holdout).  The
+downstream-utility metric builds its own holdout internally; these helpers
+expose the same splits to users running their own protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from ..graph.temporal_graph import TemporalGraph
+
+
+def temporal_split(
+    graph: TemporalGraph, train_fraction: float = 0.8
+) -> Tuple[TemporalGraph, TemporalGraph]:
+    """Split along time: the first ``ceil(T * fraction)`` snapshots train.
+
+    Both halves keep the full node universe and the original ``T`` (the test
+    half simply has no edges before the boundary), so statistics computed on
+    either half remain comparable.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise GraphFormatError(
+            f"train_fraction must be in (0, 1), got {train_fraction}"
+        )
+    boundary = int(np.ceil(graph.num_timestamps * train_fraction))
+    boundary = min(max(boundary, 1), graph.num_timestamps - 1)
+    train_mask = graph.t < boundary
+    train = TemporalGraph(
+        graph.num_nodes,
+        graph.src[train_mask],
+        graph.dst[train_mask],
+        graph.t[train_mask],
+        num_timestamps=graph.num_timestamps,
+        validate=False,
+    )
+    test = TemporalGraph(
+        graph.num_nodes,
+        graph.src[~train_mask],
+        graph.dst[~train_mask],
+        graph.t[~train_mask],
+        num_timestamps=graph.num_timestamps,
+        validate=False,
+    )
+    return train, test
+
+
+def edge_holdout(
+    graph: TemporalGraph,
+    holdout_fraction: float = 0.2,
+    seed: Optional[int] = None,
+) -> Tuple[TemporalGraph, TemporalGraph]:
+    """Uniform random edge holdout (timestamps untouched).
+
+    Returns ``(train, heldout)`` over the same node universe and ``T``; the
+    two edge sets partition the original's.
+    """
+    if not 0.0 < holdout_fraction < 1.0:
+        raise GraphFormatError(
+            f"holdout_fraction must be in (0, 1), got {holdout_fraction}"
+        )
+    if graph.num_edges < 2:
+        raise GraphFormatError("need at least 2 edges to split")
+    rng = np.random.default_rng(seed)
+    count = int(round(graph.num_edges * holdout_fraction))
+    count = min(max(count, 1), graph.num_edges - 1)
+    held = np.zeros(graph.num_edges, dtype=bool)
+    held[rng.choice(graph.num_edges, size=count, replace=False)] = True
+
+    def _subset(mask: np.ndarray) -> TemporalGraph:
+        return TemporalGraph(
+            graph.num_nodes,
+            graph.src[mask],
+            graph.dst[mask],
+            graph.t[mask],
+            num_timestamps=graph.num_timestamps,
+            validate=False,
+        )
+
+    return _subset(~held), _subset(held)

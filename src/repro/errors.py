@@ -1,0 +1,40 @@
+"""Typed exceptions used across the :mod:`repro` package.
+
+Every user-facing error raised by the library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while still being able to discriminate on subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array or tensor had an incompatible shape."""
+
+
+class GradientError(ReproError, RuntimeError):
+    """Backward pass was invoked in an invalid state."""
+
+
+class GraphFormatError(ReproError, ValueError):
+    """A temporal graph input violated the expected format."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A model or experiment configuration value was invalid."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset name or specification was not recognised."""
+
+
+class GenerationError(ReproError, RuntimeError):
+    """Graph generation could not be completed."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """A generator was asked to sample before :meth:`fit` was called."""

@@ -1,0 +1,106 @@
+"""Static snapshot views of a temporal graph.
+
+Evaluation (Sec. V) compares *cumulative* snapshots: all edges from the
+initial timestamp up to ``t``.  :class:`Snapshot` is a light immutable static
+directed graph over the full node universe, with conversions to scipy sparse
+adjacency and networkx for metric computation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import GraphFormatError
+from .temporal_graph import TemporalGraph
+
+
+class Snapshot:
+    """A static directed graph ``G_t`` over ``num_nodes`` nodes."""
+
+    __slots__ = ("num_nodes", "src", "dst", "_adjacency")
+
+    def __init__(self, num_nodes: int, src: np.ndarray, dst: np.ndarray) -> None:
+        self.num_nodes = int(num_nodes)
+        self.src = np.asarray(src, dtype=np.int64).reshape(-1)
+        self.dst = np.asarray(dst, dtype=np.int64).reshape(-1)
+        if self.src.shape != self.dst.shape:
+            raise GraphFormatError("snapshot src/dst must be parallel arrays")
+        self._adjacency: Optional[sp.csr_matrix] = None
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.size)
+
+    def __repr__(self) -> str:
+        return f"Snapshot(n={self.num_nodes}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def adjacency(self, deduplicate: bool = True) -> sp.csr_matrix:
+        """Directed adjacency as a scipy CSR matrix (binary when deduplicated)."""
+        if self._adjacency is None:
+            data = np.ones(self.num_edges, dtype=np.float64)
+            mat = sp.coo_matrix(
+                (data, (self.src, self.dst)), shape=(self.num_nodes, self.num_nodes)
+            ).tocsr()
+            if deduplicate:
+                mat.data = np.minimum(mat.data, 1.0)
+            self._adjacency = mat
+        return self._adjacency
+
+    def undirected_adjacency(self) -> sp.csr_matrix:
+        """Symmetrised binary adjacency (used by the undirected statistics)."""
+        adj = self.adjacency()
+        sym = adj.maximum(adj.T)
+        sym.setdiag(0)
+        sym.eliminate_zeros()
+        return sym
+
+    def to_networkx(self, directed: bool = True) -> nx.Graph:
+        """Convert to a networkx graph over the *active* nodes only."""
+        graph: nx.Graph = nx.DiGraph() if directed else nx.Graph()
+        graph.add_edges_from(zip(self.src.tolist(), self.dst.tolist()))
+        return graph
+
+    # ------------------------------------------------------------------
+    # Degree views
+    # ------------------------------------------------------------------
+    def degrees(self) -> np.ndarray:
+        """Undirected degree per node (unique neighbours, self-loops ignored)."""
+        sym = self.undirected_adjacency()
+        return np.asarray(sym.sum(axis=1)).reshape(-1)
+
+    def active_nodes(self) -> np.ndarray:
+        """Nodes that participate in at least one edge."""
+        return np.unique(np.concatenate([self.src, self.dst])) if self.num_edges else np.array(
+            [], dtype=np.int64
+        )
+
+
+def cumulative_snapshots(graph: TemporalGraph) -> List[Snapshot]:
+    """Build the paper's evaluation sequence: snapshot ``t`` holds all edges with time <= t."""
+    result: List[Snapshot] = []
+    order = np.argsort(graph.t, kind="stable")
+    sorted_t = graph.t[order]
+    bounds = np.searchsorted(sorted_t, np.arange(graph.num_timestamps + 1), side="right")
+    # bounds[t] = number of edges with timestamp <= t (using side='right' on value t).
+    cut = np.searchsorted(sorted_t, np.arange(graph.num_timestamps), side="right")
+    for timestamp in range(graph.num_timestamps):
+        sel = order[: cut[timestamp]]
+        result.append(Snapshot(graph.num_nodes, graph.src[sel], graph.dst[sel]))
+    return result
+
+
+def snapshot_at(graph: TemporalGraph, timestamp: int) -> Snapshot:
+    """Single cumulative snapshot at ``timestamp``."""
+    if not 0 <= timestamp < graph.num_timestamps:
+        raise GraphFormatError(
+            f"timestamp {timestamp} outside [0, {graph.num_timestamps})"
+        )
+    src, dst = graph.edges_until(timestamp)
+    return Snapshot(graph.num_nodes, src, dst)

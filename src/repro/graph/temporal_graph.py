@@ -1,0 +1,293 @@
+"""The :class:`TemporalGraph` container (Definitions 1-2 of the paper).
+
+A temporal graph is stored as parallel arrays of directed timestamped edges
+``(src[i], dst[i], t[i])`` over integer node ids ``0..num_nodes-1`` and
+integer timestamps ``0..num_timestamps-1``.  This columnar layout is the
+format every sampler, generator, metric and baseline in the repro operates
+on; conversions to per-timestamp snapshots and adjacency structures are
+provided (and cached) here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import GraphFormatError
+
+
+class TemporalGraph:
+    """A directed temporal graph as a set of timestamped edges.
+
+    Parameters
+    ----------
+    num_nodes:
+        Total number of nodes ``n``; node ids must lie in ``[0, n)``.
+    src, dst, t:
+        Parallel integer arrays of edge sources, destinations and timestamps.
+    num_timestamps:
+        Number of distinct timestamps ``T``; defaults to ``max(t) + 1``.
+    validate:
+        Whether to check id/timestamp ranges (disable only on trusted input).
+    """
+
+    __slots__ = ("num_nodes", "src", "dst", "t", "num_timestamps", "_incidence", "_time_order")
+
+    def __init__(
+        self,
+        num_nodes: int,
+        src: Sequence[int],
+        dst: Sequence[int],
+        t: Sequence[int],
+        num_timestamps: Optional[int] = None,
+        validate: bool = True,
+    ) -> None:
+        self.num_nodes = int(num_nodes)
+        self.src = np.asarray(src, dtype=np.int64).reshape(-1)
+        self.dst = np.asarray(dst, dtype=np.int64).reshape(-1)
+        self.t = np.asarray(t, dtype=np.int64).reshape(-1)
+        if not (self.src.shape == self.dst.shape == self.t.shape):
+            raise GraphFormatError(
+                f"edge arrays must be parallel: src={self.src.shape}, "
+                f"dst={self.dst.shape}, t={self.t.shape}"
+            )
+        if num_timestamps is None:
+            num_timestamps = int(self.t.max()) + 1 if self.t.size else 1
+        self.num_timestamps = int(num_timestamps)
+        if validate:
+            self._validate()
+        self._incidence: Optional[Dict[str, np.ndarray]] = None
+        self._time_order: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Validation / basic properties
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.num_nodes <= 0:
+            raise GraphFormatError(f"num_nodes must be positive, got {self.num_nodes}")
+        if self.num_timestamps <= 0:
+            raise GraphFormatError(f"num_timestamps must be positive, got {self.num_timestamps}")
+        if self.src.size:
+            for name, arr, upper in (
+                ("src", self.src, self.num_nodes),
+                ("dst", self.dst, self.num_nodes),
+                ("t", self.t, self.num_timestamps),
+            ):
+                low, high = int(arr.min()), int(arr.max())
+                if low < 0 or high >= upper:
+                    raise GraphFormatError(
+                        f"{name} values must lie in [0, {upper}), found [{low}, {high}]"
+                    )
+
+    @property
+    def num_edges(self) -> int:
+        """Total number of temporal edges ``m``."""
+        return int(self.src.size)
+
+    @property
+    def num_temporal_nodes(self) -> int:
+        """Number of distinct (node, timestamp) occurrences."""
+        if self.num_edges == 0:
+            return 0
+        pairs = np.concatenate(
+            [self.src * self.num_timestamps + self.t, self.dst * self.num_timestamps + self.t]
+        )
+        return int(np.unique(pairs).size)
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalGraph(n={self.num_nodes}, m={self.num_edges}, "
+            f"T={self.num_timestamps})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemporalGraph):
+            return NotImplemented
+        return (
+            self.num_nodes == other.num_nodes
+            and self.num_timestamps == other.num_timestamps
+            and self.num_edges == other.num_edges
+            and bool(np.array_equal(self._sorted_triples(), other._sorted_triples()))
+        )
+
+    def _sorted_triples(self) -> np.ndarray:
+        triples = np.stack([self.t, self.src, self.dst], axis=1)
+        order = np.lexsort((self.dst, self.src, self.t))
+        return triples[order]
+
+    # ------------------------------------------------------------------
+    # Snapshot access
+    # ------------------------------------------------------------------
+    def edges_at(self, timestamp: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(src, dst)`` of edges whose timestamp equals ``timestamp``."""
+        mask = self.t == timestamp
+        return self.src[mask], self.dst[mask]
+
+    def edges_until(self, timestamp: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(src, dst)`` of edges with timestamp ``<= timestamp``.
+
+        This is the accumulation the paper uses to build evaluation snapshots
+        ("accumulate the nodes and edges generated from the initial timestamp
+        to the current timestamp", Sec. III).
+        """
+        mask = self.t <= timestamp
+        return self.src[mask], self.dst[mask]
+
+    def snapshots(self) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(t, src, dst)`` for every timestamp in order."""
+        if self._time_order is None:
+            self._time_order = np.argsort(self.t, kind="stable")
+        order = self._time_order
+        sorted_t = self.t[order]
+        bounds = np.searchsorted(sorted_t, np.arange(self.num_timestamps + 1))
+        for timestamp in range(self.num_timestamps):
+            sel = order[bounds[timestamp] : bounds[timestamp + 1]]
+            yield timestamp, self.src[sel], self.dst[sel]
+
+    # ------------------------------------------------------------------
+    # Degrees
+    # ------------------------------------------------------------------
+    def temporal_degrees(self) -> np.ndarray:
+        """Degree of every temporal node as a dense ``(n, T)`` array.
+
+        The temporal degree of ``(u, t)`` counts the edges incident to ``u``
+        at timestamp ``t`` in either direction -- the quantity used by the
+        degree-weighted initial-node sampling of Eq. 2.
+        """
+        deg = np.zeros((self.num_nodes, self.num_timestamps), dtype=np.int64)
+        np.add.at(deg, (self.src, self.t), 1)
+        np.add.at(deg, (self.dst, self.t), 1)
+        return deg
+
+    def static_degrees(self) -> np.ndarray:
+        """Total (time-aggregated) degree per node."""
+        deg = np.zeros(self.num_nodes, dtype=np.int64)
+        np.add.at(deg, self.src, 1)
+        np.add.at(deg, self.dst, 1)
+        return deg
+
+    # ------------------------------------------------------------------
+    # Incidence structure (cached) for fast temporal neighbour queries
+    # ------------------------------------------------------------------
+    def _build_incidence(self) -> Dict[str, np.ndarray]:
+        """Build a CSR-like per-node incidence list sorted by (node, time).
+
+        For every node ``u`` we store all incident temporal events
+        ``(other_endpoint, timestamp)`` -- both out- and in-edges, because the
+        temporal neighbourhood of Definition 3 is direction-agnostic.
+        """
+        n_entries = 2 * self.num_edges
+        owner = np.concatenate([self.src, self.dst])
+        other = np.concatenate([self.dst, self.src])
+        times = np.concatenate([self.t, self.t])
+        direction = np.concatenate(
+            [np.zeros(self.num_edges, dtype=np.int8), np.ones(self.num_edges, dtype=np.int8)]
+        )
+        order = np.lexsort((times, owner))
+        owner = owner[order]
+        counts = np.bincount(owner, minlength=self.num_nodes) if n_entries else np.zeros(
+            self.num_nodes, dtype=np.int64
+        )
+        offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        return {
+            "offsets": offsets,
+            "other": other[order],
+            "times": times[order],
+            "direction": direction[order],
+        }
+
+    @property
+    def incidence(self) -> Dict[str, np.ndarray]:
+        """Cached incidence structure (see :meth:`_build_incidence`)."""
+        if self._incidence is None:
+            self._incidence = self._build_incidence()
+        return self._incidence
+
+    def incident_events(self, node: int) -> Tuple[np.ndarray, np.ndarray]:
+        """All ``(neighbour, timestamp)`` events incident to ``node``, time-sorted."""
+        inc = self.incidence
+        lo, hi = inc["offsets"][node], inc["offsets"][node + 1]
+        return inc["other"][lo:hi], inc["times"][lo:hi]
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def copy(self) -> "TemporalGraph":
+        """Deep copy of the edge arrays."""
+        return TemporalGraph(
+            self.num_nodes,
+            self.src.copy(),
+            self.dst.copy(),
+            self.t.copy(),
+            num_timestamps=self.num_timestamps,
+            validate=False,
+        )
+
+    def restricted_to(self, max_timestamp: int) -> "TemporalGraph":
+        """Sub-temporal-graph containing only edges with ``t <= max_timestamp``."""
+        mask = self.t <= max_timestamp
+        return TemporalGraph(
+            self.num_nodes,
+            self.src[mask],
+            self.dst[mask],
+            self.t[mask],
+            num_timestamps=min(self.num_timestamps, max_timestamp + 1),
+            validate=False,
+        )
+
+    def deduplicated(self) -> "TemporalGraph":
+        """Remove duplicate ``(src, dst, t)`` triples."""
+        if self.num_edges == 0:
+            return self.copy()
+        triples = np.stack([self.src, self.dst, self.t], axis=1)
+        unique = np.unique(triples, axis=0)
+        return TemporalGraph(
+            self.num_nodes,
+            unique[:, 0],
+            unique[:, 1],
+            unique[:, 2],
+            num_timestamps=self.num_timestamps,
+            validate=False,
+        )
+
+    def without_self_loops(self) -> "TemporalGraph":
+        """Drop edges whose endpoints coincide."""
+        mask = self.src != self.dst
+        return TemporalGraph(
+            self.num_nodes,
+            self.src[mask],
+            self.dst[mask],
+            self.t[mask],
+            num_timestamps=self.num_timestamps,
+            validate=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Dense views (small graphs only)
+    # ------------------------------------------------------------------
+    def temporal_adjacency(self) -> np.ndarray:
+        """Dense ``(T, n, n)`` 0/1 adjacency tensor ``A_{t=1:T}`` (Sec. IV-A).
+
+        Intended for small graphs and tests; production paths use the sparse
+        incidence structure instead.
+        """
+        adj = np.zeros((self.num_timestamps, self.num_nodes, self.num_nodes), dtype=np.int8)
+        adj[self.t, self.src, self.dst] = 1
+        return adj
+
+
+def merge(graphs: List[TemporalGraph]) -> TemporalGraph:
+    """Union of several temporal graphs over the same node universe."""
+    if not graphs:
+        raise GraphFormatError("merge() requires at least one graph")
+    n = max(g.num_nodes for g in graphs)
+    big_t = max(g.num_timestamps for g in graphs)
+    return TemporalGraph(
+        n,
+        np.concatenate([g.src for g in graphs]),
+        np.concatenate([g.dst for g in graphs]),
+        np.concatenate([g.t for g in graphs]),
+        num_timestamps=big_t,
+        validate=False,
+    )

@@ -1,0 +1,105 @@
+"""Validation of generated graphs against their observed reference.
+
+Every generator in the repro promises a contract (same node universe, same
+timestamp range, same edge budget).  :func:`validate_generated` checks that
+contract and returns a structured report; the benchmark harness and the
+property-based tests use it to fail fast on malformed generator output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from .temporal_graph import TemporalGraph
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_generated`."""
+
+    ok: bool = True
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    def add_error(self, message: str) -> None:
+        self.ok = False
+        self.errors.append(message)
+
+    def add_warning(self, message: str) -> None:
+        self.warnings.append(message)
+
+    def __str__(self) -> str:
+        lines = ["OK" if self.ok else "INVALID"]
+        lines += [f"error: {e}" for e in self.errors]
+        lines += [f"warning: {w}" for w in self.warnings]
+        return "\n".join(lines)
+
+
+def validate_generated(
+    observed: TemporalGraph,
+    generated: TemporalGraph,
+    edge_budget_tolerance: float = 0.0,
+    self_loop_warning: bool = True,
+) -> ValidationReport:
+    """Check a generated graph against the generator contract.
+
+    Parameters
+    ----------
+    edge_budget_tolerance:
+        Allowed relative deviation of the generated edge count from the
+        observed one (``0.0`` = exact match required).
+    self_loop_warning:
+        Emit a warning (not an error) when the generated graph contains
+        self-loops -- some baselines legitimately produce a few.
+    """
+    report = ValidationReport()
+    if generated.num_nodes != observed.num_nodes:
+        report.add_error(
+            f"node universe mismatch: {generated.num_nodes} != {observed.num_nodes}"
+        )
+    if generated.num_timestamps != observed.num_timestamps:
+        report.add_error(
+            f"timestamp range mismatch: {generated.num_timestamps} != "
+            f"{observed.num_timestamps}"
+        )
+    budget = observed.num_edges
+    deviation = abs(generated.num_edges - budget) / max(budget, 1)
+    if deviation > edge_budget_tolerance:
+        report.add_error(
+            f"edge budget violated: generated {generated.num_edges}, observed "
+            f"{budget} (tolerance {edge_budget_tolerance:.0%})"
+        )
+    if generated.num_edges:
+        for name, arr, upper in (
+            ("src", generated.src, observed.num_nodes),
+            ("dst", generated.dst, observed.num_nodes),
+            ("t", generated.t, observed.num_timestamps),
+        ):
+            if arr.min() < 0 or arr.max() >= upper:
+                report.add_error(
+                    f"{name} out of range [0, {upper}): [{arr.min()}, {arr.max()}]"
+                )
+        loops = int(np.count_nonzero(generated.src == generated.dst))
+        if loops and self_loop_warning:
+            report.add_warning(f"{loops} self-loop edge(s) in generated graph")
+        empty_t = int(
+            np.count_nonzero(
+                np.bincount(generated.t, minlength=generated.num_timestamps) == 0
+            )
+        )
+        observed_empty = int(
+            np.count_nonzero(
+                np.bincount(observed.t, minlength=observed.num_timestamps) == 0
+            )
+        )
+        if empty_t > observed_empty:
+            report.add_warning(
+                f"{empty_t} empty timestamp(s) in generated graph vs "
+                f"{observed_empty} observed"
+            )
+    else:
+        report.add_error("generated graph has no edges")
+    return report

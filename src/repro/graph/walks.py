@@ -1,0 +1,149 @@
+"""Temporal random walks -- the substrate of the walk-based baselines.
+
+TagGen, TGGAN, TIGGER and (statically) NetGAN all decompose the observed
+graph into random walks and learn a sequence model over them.  This module
+provides the shared walk machinery: time-respecting walk sampling, uniform
+temporal walks within a window, and utilities to re-assemble a temporal graph
+from a bag of generated walks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, GenerationError
+from .temporal_graph import TemporalGraph
+
+
+def sample_temporal_walk(
+    graph: TemporalGraph,
+    start_node: int,
+    start_time: int,
+    length: int,
+    time_window: int,
+    rng: np.random.Generator,
+    time_respecting: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample one temporal walk of at most ``length`` nodes.
+
+    Parameters
+    ----------
+    graph:
+        Observed temporal graph.
+    start_node, start_time:
+        Starting temporal node.
+    length:
+        Maximum number of nodes in the walk (>= 1).
+    time_window:
+        Maximum |time difference| allowed per hop.
+    time_respecting:
+        When ``True`` hops may only move forward in time (TagGen-style
+        temporal walks); otherwise any event in the window qualifies.
+
+    Returns
+    -------
+    (nodes, times):
+        Parallel arrays; the walk ends early if a node has no valid
+        continuation.
+    """
+    if length < 1:
+        raise ConfigError("walk length must be >= 1")
+    nodes = [int(start_node)]
+    times = [int(start_time)]
+    current, current_t = int(start_node), int(start_time)
+    for _ in range(length - 1):
+        others, ev_times = graph.incident_events(current)
+        if others.size == 0:
+            break
+        if time_respecting:
+            lo = np.searchsorted(ev_times, current_t, side="left")
+            hi = np.searchsorted(ev_times, current_t + time_window, side="right")
+        else:
+            lo = np.searchsorted(ev_times, current_t - time_window, side="left")
+            hi = np.searchsorted(ev_times, current_t + time_window, side="right")
+        if hi <= lo:
+            break
+        pick = int(rng.integers(lo, hi))
+        current, current_t = int(others[pick]), int(ev_times[pick])
+        nodes.append(current)
+        times.append(current_t)
+    return np.asarray(nodes, dtype=np.int64), np.asarray(times, dtype=np.int64)
+
+
+def sample_walk_corpus(
+    graph: TemporalGraph,
+    num_walks: int,
+    length: int,
+    time_window: int,
+    rng: np.random.Generator,
+    time_respecting: bool = True,
+    min_length: int = 2,
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Sample a corpus of temporal walks with degree-weighted starts.
+
+    Walks shorter than ``min_length`` (dead-end starts) are discarded and
+    retried a bounded number of times, so the corpus size is deterministic
+    unless the graph is pathologically disconnected.
+    """
+    if graph.num_edges == 0:
+        raise GenerationError("cannot sample walks from an empty graph")
+    degrees = graph.temporal_degrees().astype(np.float64).reshape(-1)
+    probs = degrees / degrees.sum()
+    corpus: List[Tuple[np.ndarray, np.ndarray]] = []
+    attempts = 0
+    max_attempts = num_walks * 20
+    while len(corpus) < num_walks and attempts < max_attempts:
+        attempts += 1
+        flat = int(rng.choice(probs.size, p=probs))
+        node, timestamp = flat // graph.num_timestamps, flat % graph.num_timestamps
+        nodes, times = sample_temporal_walk(
+            graph, node, timestamp, length, time_window, rng, time_respecting
+        )
+        if nodes.size >= min_length:
+            corpus.append((nodes, times))
+    if len(corpus) < num_walks:
+        # Accept a smaller corpus rather than loop forever on sparse graphs.
+        if not corpus:
+            raise GenerationError("failed to sample any non-trivial temporal walk")
+    return corpus
+
+
+def walks_to_graph(
+    walks: List[Tuple[np.ndarray, np.ndarray]],
+    num_nodes: int,
+    num_timestamps: int,
+    target_edges: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> TemporalGraph:
+    """Assemble a temporal graph from generated walks (TagGen-style).
+
+    Consecutive walk positions become temporal edges stamped with the later
+    endpoint's timestamp.  When ``target_edges`` is given, edges are sampled
+    (by frequency, without replacement) down to the requested count so the
+    generated graph matches the observed edge budget.
+    """
+    srcs: List[int] = []
+    dsts: List[int] = []
+    ts: List[int] = []
+    for nodes, times in walks:
+        for i in range(nodes.size - 1):
+            srcs.append(int(nodes[i]))
+            dsts.append(int(nodes[i + 1]))
+            ts.append(int(max(times[i], times[i + 1])))
+    if not srcs:
+        raise GenerationError("generated walks contain no edges")
+    src = np.asarray(srcs, dtype=np.int64)
+    dst = np.asarray(dsts, dtype=np.int64)
+    t = np.asarray(ts, dtype=np.int64)
+    t = np.clip(t, 0, num_timestamps - 1)
+    if target_edges is not None and src.size != target_edges:
+        rng = rng if rng is not None else np.random.default_rng()
+        if src.size > target_edges:
+            pick = rng.choice(src.size, size=target_edges, replace=False)
+        else:
+            extra = rng.choice(src.size, size=target_edges - src.size, replace=True)
+            pick = np.concatenate([np.arange(src.size), extra])
+        src, dst, t = src[pick], dst[pick], t[pick]
+    return TemporalGraph(num_nodes, src, dst, t, num_timestamps=num_timestamps, validate=False)

@@ -1,0 +1,69 @@
+"""Total variation distance and Gaussian-TV Maximum Mean Discrepancy (Eq. 1).
+
+The paper measures the distance between the observed and generated motif
+distributions with an MMD whose kernel is a Gaussian applied to the total
+variation distance between distribution samples:
+
+    TV(p, q)      = 1/2 * sum_i |p_i - q_i|
+    k(x, y)       = exp( -TV(x, y)^2 / (2 sigma^2) )
+    MMD^2(P || Q) = E_{x,y~P}[k(x,y)] + E_{x,y~Q}[k(x,y)] - 2 E_{x~P,y~Q}[k(x,y)]
+
+Samples are distribution vectors (e.g. per-timestamp motif distributions);
+the degenerate single-sample case reduces to ``2 - 2 k(p, q)`` which is the
+form used for whole-graph motif comparison in Table VI.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance between two distribution vectors."""
+    p = np.asarray(p, dtype=np.float64).reshape(-1)
+    q = np.asarray(q, dtype=np.float64).reshape(-1)
+    if p.shape != q.shape:
+        raise ShapeError(f"distribution shapes differ: {p.shape} vs {q.shape}")
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def gaussian_tv_kernel(p: np.ndarray, q: np.ndarray, sigma: float = 1.0) -> float:
+    """Gaussian kernel on the TV distance, ``k(p, q) = exp(-TV^2 / 2 sigma^2)``."""
+    tv = total_variation(p, q)
+    return float(np.exp(-(tv**2) / (2.0 * sigma**2)))
+
+
+def mmd_squared(
+    samples_p: Sequence[np.ndarray],
+    samples_q: Sequence[np.ndarray],
+    sigma: float = 1.0,
+) -> float:
+    """Squared MMD between two sets of distribution samples (Eq. 1).
+
+    Uses the biased V-statistic estimator (including the diagonal), which is
+    the convention of the GraphRNN evaluation suite the paper follows, and is
+    clipped at zero to absorb floating-point noise.
+    """
+    ps = [np.asarray(p, dtype=np.float64).reshape(-1) for p in samples_p]
+    qs = [np.asarray(q, dtype=np.float64).reshape(-1) for q in samples_q]
+    if not ps or not qs:
+        raise ShapeError("mmd_squared requires at least one sample on each side")
+
+    def mean_kernel(xs: Sequence[np.ndarray], ys: Sequence[np.ndarray]) -> float:
+        total = 0.0
+        for x in xs:
+            for y in ys:
+                total += gaussian_tv_kernel(x, y, sigma)
+        return total / (len(xs) * len(ys))
+
+    value = mean_kernel(ps, ps) + mean_kernel(qs, qs) - 2.0 * mean_kernel(ps, qs)
+    return float(max(value, 0.0))
+
+
+def motif_mmd(p: np.ndarray, q: np.ndarray, sigma: float = 1.0) -> float:
+    """Whole-graph motif-distribution MMD (single-sample case of Eq. 1)."""
+    return mmd_squared([p], [q], sigma=sigma)

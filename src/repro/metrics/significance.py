@@ -1,0 +1,122 @@
+"""Temporal-motif significance profiles (z-scores against null ensembles).
+
+Raw motif counts confound structure with density: a graph with more edges
+has more of *every* motif.  Network science normalises this with the Milo
+significance profile: count motifs on the observed graph and on an ensemble
+of randomised null models, and report the per-motif z-score
+
+    z_i = (count_i - mean_null_i) / std_null_i,
+
+normalised to a unit vector so profiles of different-sized graphs compare.
+For temporal graphs the natural null is the time-shuffle (keeps the static
+multigraph, permutes timestamps), which zeroes out exactly the temporal
+ordering the 36-class delta-motif census measures; degree-preserving
+rewiring is offered for the structural axis.
+
+A generator that reproduces the observed graph's *significance profile* --
+not just its motif counts -- has captured which temporal orderings are
+over- and under-represented relative to chance, a sharper claim than the
+MMD of Table VI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import GraphFormatError
+from ..graph.temporal_graph import TemporalGraph
+from ..graph.transforms import rewire_degree_preserving, shuffle_timestamps
+from .motifs import count_temporal_motifs
+
+
+def motif_significance_profile(
+    graph: TemporalGraph,
+    delta: int = 2,
+    num_nulls: int = 20,
+    null: str = "time_shuffle",
+    seed: int = 0,
+    max_instances: Optional[int] = 200_000,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-motif z-scores of the graph against a randomised null ensemble.
+
+    Parameters
+    ----------
+    graph:
+        The temporal graph to profile.
+    delta:
+        Motif time-window (same delta as the Table VI census).
+    num_nulls:
+        Ensemble size; 20 gives stable z-scores on the bench datasets.
+    null:
+        ``"time_shuffle"`` (temporal axis) or ``"rewire"`` (structural axis).
+    seed:
+        Ensemble RNG seed.
+    max_instances:
+        Passed through to the motif census to bound worst-case cost.
+
+    Returns
+    -------
+    (z_scores, normalized_profile):
+        ``z_scores`` has one entry per motif class (0 where the null has
+        zero variance and the observed count matches it); the normalised
+        profile is ``z / ||z||`` (zero vector when all z are 0).
+    """
+    if num_nulls < 2:
+        raise GraphFormatError(f"num_nulls must be >= 2, got {num_nulls}")
+    if null == "time_shuffle":
+        make_null = lambda s: shuffle_timestamps(graph, seed=s)
+    elif null == "rewire":
+        make_null = lambda s: rewire_degree_preserving(graph, seed=s)
+    else:
+        raise GraphFormatError(
+            f"unknown null {null!r}; options: time_shuffle, rewire"
+        )
+    observed = count_temporal_motifs(
+        graph, delta, max_instances=max_instances
+    ).astype(np.float64)
+    rng = np.random.default_rng(seed)
+    ensemble = np.stack(
+        [
+            count_temporal_motifs(
+                make_null(int(rng.integers(0, 2**31 - 1))),
+                delta,
+                max_instances=max_instances,
+            ).astype(np.float64)
+            for _ in range(num_nulls)
+        ]
+    )
+    mean = ensemble.mean(axis=0)
+    std = ensemble.std(axis=0)
+    z = np.zeros_like(observed)
+    varying = std > 0
+    z[varying] = (observed[varying] - mean[varying]) / std[varying]
+    # Motifs the null never varies on but the graph over-represents get the
+    # conservative cap +/- num_nulls (they are "infinitely" significant).
+    frozen = ~varying & (observed != mean)
+    z[frozen] = np.sign(observed[frozen] - mean[frozen]) * num_nulls
+    norm = np.linalg.norm(z)
+    profile = z / norm if norm > 0 else np.zeros_like(z)
+    return z, profile
+
+
+def significance_similarity(
+    profile_a: np.ndarray, profile_b: np.ndarray
+) -> float:
+    """Cosine similarity of two normalised significance profiles.
+
+    1.0 for identical over/under-representation patterns, 0.0 for unrelated,
+    negative when one graph over-represents what the other suppresses.
+    Zero-vector profiles (no significant motifs) compare as 0.0.
+    """
+    a = np.asarray(profile_a, dtype=np.float64).reshape(-1)
+    b = np.asarray(profile_b, dtype=np.float64).reshape(-1)
+    if a.shape != b.shape:
+        raise GraphFormatError(
+            f"profiles must have equal length, got {a.size} vs {b.size}"
+        )
+    norm_a, norm_b = np.linalg.norm(a), np.linalg.norm(b)
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (norm_a * norm_b))

@@ -1,0 +1,146 @@
+"""Additional structural statistics beyond the paper's Table III.
+
+Table III measures degree- and component-level structure; a downstream user
+of a graph simulator typically also checks clustering, mixing, and
+distributional distances.  This module adds those checks on the same
+:class:`~repro.graph.snapshot.Snapshot` abstraction so they compose with the
+``f_avg``/``f_med`` machinery of Eq. 10 (any ``Snapshot -> float`` function
+can be passed to :func:`repro.metrics.relative_error_series`):
+
+* global and average-local **clustering coefficients**;
+* **degree assortativity** (Pearson correlation over edge endpoints);
+* directed **reciprocity**;
+* **density** of the simple undirected view;
+* **Kolmogorov-Smirnov distance** between two degree distributions --
+  a sharper distributional comparison than the scalar statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.snapshot import Snapshot
+
+
+def global_clustering(snapshot: Snapshot) -> float:
+    """Transitivity: ``3 * triangles / wedges`` on the undirected view.
+
+    Returns ``0.0`` when the snapshot has no wedges.
+    """
+    adj = snapshot.undirected_adjacency()
+    if adj.nnz == 0:
+        return 0.0
+    degrees = np.asarray(adj.sum(axis=1)).reshape(-1)
+    wedges = float(np.sum(degrees * (degrees - 1) / 2.0))
+    if wedges == 0.0:
+        return 0.0
+    a2 = adj @ adj
+    triangles = float(a2.multiply(adj).sum() / 6.0)
+    return 3.0 * triangles / wedges
+
+
+def average_local_clustering(snapshot: Snapshot) -> float:
+    """Mean of per-node clustering coefficients over nodes with degree >= 2."""
+    adj = snapshot.undirected_adjacency()
+    if adj.nnz == 0:
+        return 0.0
+    degrees = np.asarray(adj.sum(axis=1)).reshape(-1)
+    eligible = degrees >= 2
+    if not np.any(eligible):
+        return 0.0
+    # Per-node triangle participation: diag(A^3) / 2.
+    a2 = adj @ adj
+    tri_per_node = np.asarray(a2.multiply(adj).sum(axis=1)).reshape(-1) / 2.0
+    possible = degrees * (degrees - 1) / 2.0
+    coeffs = np.zeros_like(tri_per_node)
+    coeffs[eligible] = tri_per_node[eligible] / possible[eligible]
+    return float(coeffs[eligible].mean())
+
+
+def degree_assortativity(snapshot: Snapshot) -> float:
+    """Pearson correlation of endpoint degrees over undirected edges.
+
+    Positive when hubs attach to hubs.  Returns ``0.0`` for degenerate
+    snapshots (no edges, or constant endpoint degrees).
+    """
+    adj = snapshot.undirected_adjacency()
+    coo = adj.tocoo()
+    if coo.nnz == 0:
+        return 0.0
+    degrees = np.asarray(adj.sum(axis=1)).reshape(-1)
+    x = degrees[coo.row].astype(np.float64)
+    y = degrees[coo.col].astype(np.float64)
+    if x.std() == 0.0 or y.std() == 0.0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def reciprocity(snapshot: Snapshot) -> float:
+    """Fraction of directed edges whose reverse edge also exists.
+
+    Self-loops are excluded; returns ``0.0`` for an edgeless snapshot.
+    """
+    adj = snapshot.adjacency().copy()
+    adj.setdiag(0)
+    adj.eliminate_zeros()
+    if adj.nnz == 0:
+        return 0.0
+    mutual = adj.multiply(adj.T).nnz
+    return float(mutual) / float(adj.nnz)
+
+
+def density(snapshot: Snapshot) -> float:
+    """Edge density of the simple undirected view: ``m / C(n_active, 2)``.
+
+    ``n_active`` counts nodes touched by at least one edge, so growth-style
+    graphs (where most of the universe is still silent at early timestamps)
+    are not diluted.
+    """
+    adj = snapshot.undirected_adjacency()
+    if adj.nnz == 0:
+        return 0.0
+    degrees = np.asarray(adj.sum(axis=1)).reshape(-1)
+    active = int(np.count_nonzero(degrees))
+    if active < 2:
+        return 0.0
+    num_edges = adj.nnz / 2.0
+    return float(num_edges / (active * (active - 1) / 2.0))
+
+
+def degree_ks_distance(observed: Snapshot, generated: Snapshot) -> float:
+    """Two-sample Kolmogorov-Smirnov distance between degree distributions.
+
+    Compares the undirected degree sequences of the *active* nodes of each
+    snapshot.  Returns a value in ``[0, 1]``; ``0`` for identical empirical
+    distributions.  An empty-vs-empty comparison is ``0``; empty-vs-nonempty
+    is ``1``.
+    """
+    deg_obs = _active_degree_sequence(observed)
+    deg_gen = _active_degree_sequence(generated)
+    if deg_obs.size == 0 and deg_gen.size == 0:
+        return 0.0
+    if deg_obs.size == 0 or deg_gen.size == 0:
+        return 1.0
+    support = np.unique(np.concatenate([deg_obs, deg_gen]))
+    cdf_obs = np.searchsorted(np.sort(deg_obs), support, side="right") / deg_obs.size
+    cdf_gen = np.searchsorted(np.sort(deg_gen), support, side="right") / deg_gen.size
+    return float(np.abs(cdf_obs - cdf_gen).max())
+
+
+def _active_degree_sequence(snapshot: Snapshot) -> np.ndarray:
+    adj = snapshot.undirected_adjacency()
+    if adj.nnz == 0:
+        return np.empty(0, dtype=np.int64)
+    degrees = np.asarray(adj.sum(axis=1)).reshape(-1).astype(np.int64)
+    return degrees[degrees > 0]
+
+
+#: Extended statistics in the same ``Snapshot -> float`` shape as Table III's
+#: ``STATISTIC_FUNCTIONS`` so they plug into the Eq. 10 machinery.
+EXTENDED_STATISTIC_FUNCTIONS = {
+    "global_clustering": global_clustering,
+    "avg_local_clustering": average_local_clustering,
+    "assortativity": degree_assortativity,
+    "reciprocity": reciprocity,
+    "density": density,
+}

@@ -1,0 +1,30 @@
+"""Neural-network layer library built on :mod:`repro.autograd`."""
+
+from .activations import Dropout, LeakyReLU, ReLU, Sigmoid, Tanh
+from .attention import TemporalGraphAttention, TimeEncoding
+from .container import ModuleList, Sequential
+from .linear import Embedding, Linear
+from .mlp import MLP
+from .module import Module, Parameter
+from .norm import LayerNorm
+from .rnn import GRUCell, LSTMCell
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "MLP",
+    "Sequential",
+    "ModuleList",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "LayerNorm",
+    "TemporalGraphAttention",
+    "TimeEncoding",
+    "GRUCell",
+    "LSTMCell",
+]

@@ -1,0 +1,190 @@
+"""Temporal graph attention (TGAT) layers -- Eqs. 3-5 of the paper.
+
+The layer operates on a *bipartite computation graph* (Fig. 4): a set of
+source rows, a set of target rows, and an edge list connecting them.  For
+every edge ``(s, d)`` and attention head ``i`` the unnormalised score is
+
+    e_i = LeakyReLU( a_i^T [ W h_s || W h_d ] )        (Eq. 5 numerator)
+
+scores are normalised with a per-target softmax (Eq. 5 denominator), messages
+``W h_s`` are aggregated by attention-weighted scatter-add (Eq. 4), the heads
+are concatenated and projected by ``W_o`` (Eq. 3).
+
+Temporal information enters through a sinusoidal time encoding of the edge
+time difference, added to the source message before scoring, which lets the
+attention discriminate between neighbours at different temporal distances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor, concat, segment_softmax
+from ..errors import ConfigError, ShapeError
+from . import init
+from .module import Module, Parameter
+
+
+class TimeEncoding(Module):
+    """Bochner-style sinusoidal encoding of (relative) timestamps.
+
+    Maps a scalar time difference to ``dim`` features
+    ``cos(w_k * dt + b_k)`` with learnable frequencies, following the
+    functional time encoding used by temporal graph attention networks.
+    """
+
+    def __init__(self, dim: int, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if dim <= 0:
+            raise ConfigError("time encoding dim must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.dim = dim
+        # Geometric frequency ladder, perturbed slightly so heads differ.
+        base = 1.0 / (10.0 ** np.linspace(0.0, 4.0, dim))
+        self.frequency = Parameter(base * (1.0 + 0.01 * rng.standard_normal(dim)))
+        self.phase = Parameter(np.zeros(dim))
+
+    def forward(self, delta_t: np.ndarray) -> Tensor:
+        dt = np.asarray(delta_t, dtype=np.float64).reshape(-1, 1)
+        angles = Tensor(dt) * self.frequency.reshape(1, self.dim) + self.phase
+        # cos(x) expressed via available primitives: cos(x) = sin(x + pi/2),
+        # and sin through the identity with tanh is inexact -- instead use
+        # the exact complex-exponential-free route: cos(x) = (e^{ix}+e^{-ix})/2
+        # is unavailable, so we implement cos directly as a primitive-free
+        # composition: cos(x) = 1 - 2*sigmoid-free... Simplest exact approach:
+        # differentiate through exp of imaginary parts is impossible, so we
+        # add a dedicated cosine below.
+        return _cos(angles)
+
+
+def _cos(x: Tensor) -> Tensor:
+    """Differentiable cosine built directly on the raw data/closure API."""
+    data = np.cos(x.data)
+    sin = np.sin(x.data)
+    return Tensor._from_op(data, (x,), (lambda g: -g * sin,), "cos")
+
+
+class TemporalGraphAttention(Module):
+    """One multi-head TGAT layer over a bipartite computation graph.
+
+    Parameters
+    ----------
+    in_features:
+        Dimensionality of the incoming node representations.
+    out_features:
+        Dimensionality of the layer output (after the ``W_o`` projection).
+    num_heads:
+        Number of attention heads ``h_tga`` (Eq. 3).
+    head_dim:
+        Per-head representation width ``d_enc``; defaults to
+        ``out_features // num_heads``.
+    time_dim:
+        Width of the sinusoidal time encoding added to source messages.
+        Set to 0 to disable temporal conditioning.
+    negative_slope:
+        LeakyReLU slope used in Eq. 5 (paper value: 0.2).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        num_heads: int = 4,
+        head_dim: Optional[int] = None,
+        time_dim: int = 8,
+        negative_slope: float = 0.2,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if num_heads <= 0:
+            raise ConfigError("num_heads must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.num_heads = num_heads
+        self.head_dim = head_dim if head_dim is not None else max(out_features // num_heads, 1)
+        self.time_dim = time_dim
+        self.negative_slope = negative_slope
+
+        d = self.head_dim
+        # Per-head projections W (shared src/dst as in GAT) and vectors a_i.
+        self.w_src = Parameter(init.xavier_uniform((num_heads, in_features, d), rng))
+        self.w_dst = Parameter(init.xavier_uniform((num_heads, in_features, d), rng))
+        # a_i is split into the source half and destination half so the
+        # concatenation in Eq. 5 becomes a sum of two dot products.
+        self.attn_src = Parameter(init.xavier_uniform((num_heads, d), rng))
+        self.attn_dst = Parameter(init.xavier_uniform((num_heads, d), rng))
+        self.w_out = Parameter(init.xavier_uniform((num_heads * d, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,)))
+        if time_dim > 0:
+            self.time_encoding = TimeEncoding(time_dim, rng=rng)
+            self.w_time = Parameter(init.xavier_uniform((num_heads, time_dim, d), rng))
+        else:
+            self.time_encoding = None
+            self.w_time = None
+
+    def forward(
+        self,
+        h_src: Tensor,
+        h_dst: Tensor,
+        src_index: np.ndarray,
+        dst_index: np.ndarray,
+        delta_t: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Aggregate source messages into target representations.
+
+        Parameters
+        ----------
+        h_src:
+            ``(n_src, in_features)`` source-node representations.
+        h_dst:
+            ``(n_dst, in_features)`` target-node representations (used only
+            for attention scoring; self-information should be provided via a
+            self-loop edge, which the sampler adds).
+        src_index, dst_index:
+            Parallel ``(n_edges,)`` integer arrays defining the bipartite
+            edges: edge ``e`` flows ``src_index[e] -> dst_index[e]``.
+        delta_t:
+            Optional ``(n_edges,)`` array of time differences
+            ``t_dst - t_src`` for the temporal encoding.
+        """
+        src_index = np.asarray(src_index, dtype=np.int64)
+        dst_index = np.asarray(dst_index, dtype=np.int64)
+        if src_index.shape != dst_index.shape:
+            raise ShapeError("src_index and dst_index must have equal length")
+        n_dst = h_dst.shape[0]
+        n_edges = src_index.shape[0]
+        if n_edges == 0:
+            # No incoming messages: output is the bias alone.
+            return Tensor(np.zeros((n_dst, self.out_features))) + self.bias
+
+        head_outputs = []
+        time_feat = None
+        if self.time_encoding is not None and delta_t is not None:
+            time_feat = self.time_encoding(delta_t)  # (n_edges, time_dim)
+
+        for head in range(self.num_heads):
+            z_src = h_src @ self.w_src[head]  # (n_src, d)
+            z_dst = h_dst @ self.w_dst[head]  # (n_dst, d)
+            msg = z_src.take_rows(src_index)  # (n_edges, d)
+            if time_feat is not None:
+                msg = msg + time_feat @ self.w_time[head]
+            # Eq. 5: score = LeakyReLU(a_src . msg + a_dst . z_dst[dst]).
+            score = (msg * self.attn_src[head]).sum(axis=-1) + (
+                z_dst.take_rows(dst_index) * self.attn_dst[head]
+            ).sum(axis=-1)
+            score = score.leaky_relu(self.negative_slope)
+            alpha = segment_softmax(score, dst_index, n_dst)  # (n_edges,)
+            weighted = msg * alpha.reshape(-1, 1)
+            head_outputs.append(weighted.segment_sum(dst_index, n_dst))  # (n_dst, d)
+
+        stacked = concat(head_outputs, axis=1)  # (n_dst, heads*d), Eq. 3 concat
+        return stacked @ self.w_out + self.bias
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalGraphAttention(in={self.in_features}, out={self.out_features}, "
+            f"heads={self.num_heads}, head_dim={self.head_dim}, time_dim={self.time_dim})"
+        )

@@ -1,0 +1,29 @@
+"""Normalisation layers."""
+
+from __future__ import annotations
+
+from ..autograd import Tensor
+from ..errors import ConfigError
+from .module import Module, Parameter
+
+import numpy as np
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension with learnable affine."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if dim <= 0:
+            raise ConfigError("LayerNorm dim must be positive")
+        self.dim = dim
+        self.eps = eps
+        self.gamma = Parameter(np.ones(dim))
+        self.beta = Parameter(np.zeros(dim))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        var = (centred * centred).mean(axis=-1, keepdims=True)
+        normed = centred / (var + self.eps).sqrt()
+        return normed * self.gamma + self.beta

@@ -1,0 +1,94 @@
+"""Recurrent cells used by the walk-sequence baselines (TIGGER, NetGAN family).
+
+Only cell-level modules are provided; sequence models unroll them explicitly,
+which keeps the autograd graph simple and the implementations auditable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..errors import ConfigError
+from . import init
+from .module import Module, Parameter
+
+
+class GRUCell(Module):
+    """Gated recurrent unit cell (Cho et al., 2014)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ConfigError("GRUCell sizes must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        h = hidden_size
+        self.w_ir = Parameter(init.xavier_uniform((input_size, h), rng))
+        self.w_hr = Parameter(init.xavier_uniform((h, h), rng))
+        self.b_r = Parameter(init.zeros((h,)))
+        self.w_iz = Parameter(init.xavier_uniform((input_size, h), rng))
+        self.w_hz = Parameter(init.xavier_uniform((h, h), rng))
+        self.b_z = Parameter(init.zeros((h,)))
+        self.w_in = Parameter(init.xavier_uniform((input_size, h), rng))
+        self.w_hn = Parameter(init.xavier_uniform((h, h), rng))
+        self.b_n = Parameter(init.zeros((h,)))
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        """One step: ``x`` is ``(batch, input)``, ``h`` is ``(batch, hidden)``."""
+        r = (x @ self.w_ir + h @ self.w_hr + self.b_r).sigmoid()
+        z = (x @ self.w_iz + h @ self.w_hz + self.b_z).sigmoid()
+        n = (x @ self.w_in + (r * h) @ self.w_hn + self.b_n).tanh()
+        return (1.0 - z) * n + z * h
+
+    def initial_state(self, batch: int) -> Tensor:
+        """Zero hidden state for a batch."""
+        return Tensor(np.zeros((batch, self.hidden_size)))
+
+
+class LSTMCell(Module):
+    """Long short-term memory cell (Hochreiter & Schmidhuber, 1997)."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if input_size <= 0 or hidden_size <= 0:
+            raise ConfigError("LSTMCell sizes must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        h = hidden_size
+        # Single fused projection for the four gates keeps parameters compact.
+        self.w_x = Parameter(init.xavier_uniform((input_size, 4 * h), rng))
+        self.w_h = Parameter(init.xavier_uniform((h, 4 * h), rng))
+        self.bias = Parameter(init.zeros((4 * h,)))
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]) -> Tuple[Tensor, Tensor]:
+        """One step; ``state`` is ``(h, c)``. Returns the new ``(h, c)``."""
+        h_prev, c_prev = state
+        gates = x @ self.w_x + h_prev @ self.w_h + self.bias
+        hs = self.hidden_size
+        i = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g = gates[:, 2 * hs : 3 * hs].tanh()
+        o = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c = f * c_prev + i * g
+        h = o * c.tanh()
+        return h, c
+
+    def initial_state(self, batch: int) -> Tuple[Tensor, Tensor]:
+        """Zero ``(h, c)`` state for a batch."""
+        zero = np.zeros((batch, self.hidden_size))
+        return Tensor(zero.copy()), Tensor(zero.copy())

@@ -1,0 +1,8 @@
+"""Optimizers and learning-rate schedules for the repro substrate."""
+
+from .adam import Adam
+from .clip import clip_grad_norm
+from .scheduler import ConstantLR, ExponentialDecayLR, StepLR
+from .sgd import SGD
+
+__all__ = ["SGD", "Adam", "clip_grad_norm", "ConstantLR", "StepLR", "ExponentialDecayLR"]

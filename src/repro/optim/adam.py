@@ -1,0 +1,52 @@
+"""Adam optimizer (Kingma & Ba, 2015) -- the workhorse for all learning-based models."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..nn.module import Parameter
+from .base import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moment estimates."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not (0.0 <= betas[0] < 1.0 and 0.0 <= betas[1] < 1.0):
+            raise ConfigError(f"betas must lie in [0,1), got {betas}")
+        self.betas = (float(betas[0]), float(betas[1]))
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        beta1, beta2 = self.betas
+        bias1 = 1.0 - beta1**self._t
+        bias2 = 1.0 - beta2**self._t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= beta1
+            m += (1.0 - beta1) * grad
+            v *= beta2
+            v += (1.0 - beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

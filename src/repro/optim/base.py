@@ -1,0 +1,32 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..errors import ConfigError
+from ..nn.module import Parameter
+
+
+class Optimizer:
+    """Holds parameters and applies gradient updates.
+
+    Subclasses implement :meth:`step`; :meth:`zero_grad` and learning-rate
+    handling are shared.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ConfigError("optimizer received no parameters")
+        if lr <= 0:
+            raise ConfigError(f"learning rate must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on every managed parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError

@@ -1,0 +1,58 @@
+"""Learning-rate schedules operating on an :class:`~repro.optim.base.Optimizer`."""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .base import Optimizer
+
+
+class _Scheduler:
+    """Base scheduler: tracks the epoch counter and rewrites ``optimizer.lr``."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch and return the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self._lr_at(self.epoch)
+        return self.optimizer.lr
+
+    def _lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantLR(_Scheduler):
+    """No-op schedule; useful as a default."""
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(_Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ConfigError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class ExponentialDecayLR(_Scheduler):
+    """Multiply the learning rate by ``gamma`` every epoch."""
+
+    def __init__(self, optimizer: Optimizer, gamma: float = 0.95) -> None:
+        super().__init__(optimizer)
+        if not 0.0 < gamma <= 1.0:
+            raise ConfigError("gamma must lie in (0, 1]")
+        self.gamma = gamma
+
+    def _lr_at(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma**epoch)

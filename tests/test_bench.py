@@ -1,0 +1,152 @@
+"""Tests for the benchmark harness, table builders, figures and timing."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    FIGURE5_METRICS,
+    ablation_table,
+    dataset_table,
+    format_table,
+    format_value,
+    log_series,
+    measure_point,
+    method_registry,
+    quality_table,
+    render_sweep,
+    render_tendency,
+    run_method,
+    run_methods,
+    sweep,
+    tendency_fit_error,
+    tendency_series,
+)
+from repro.baselines import ErdosRenyiGenerator
+from repro.core import fast_config
+from repro.datasets import ScalabilityPoint, communication_network
+from repro.errors import ConfigError
+from repro.metrics import statistic_names
+
+CONFIG = fast_config(epochs=2, num_initial_nodes=16)
+FAST_METHODS = ["TGAE", "E-R", "B-A"]
+
+
+@pytest.fixture(scope="module")
+def observed():
+    return communication_network(20, 120, 5, seed=3)
+
+
+class TestHarness:
+    def test_registry_contains_all_methods(self):
+        registry = method_registry()
+        assert "TGAE" in registry
+        assert len(registry) == 11  # TGAE + 10 baselines
+
+    def test_run_method_measures(self, observed):
+        result = run_method(ErdosRenyiGenerator, observed, trace_memory=True)
+        assert result.fit_seconds >= 0
+        assert result.generate_seconds >= 0
+        assert result.peak_memory_bytes > 0
+        assert result.generated.num_edges == observed.num_edges
+        assert result.total_seconds == pytest.approx(
+            result.fit_seconds + result.generate_seconds
+        )
+
+    def test_run_methods_subset(self, observed):
+        run = run_methods(observed, methods=FAST_METHODS, tgae_config=CONFIG)
+        assert set(run.results) == set(FAST_METHODS)
+
+    def test_unknown_method_raises(self, observed):
+        with pytest.raises(ConfigError):
+            run_methods(observed, methods=["NOPE"])
+
+
+class TestFormatting:
+    def test_format_value_paper_style(self):
+        assert format_value(2.41e-3) == "2.41E-3"
+        assert format_value(1.21e1) == "1.21E+1"
+        assert format_value(0.0) == "0.00E+0"
+
+    def test_format_table_alignment(self):
+        rows = {"metric_a": {"X": 0.5, "Y": 1.0}}
+        text = format_table(rows, columns=["X", "Y"])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "metric_a" in lines[1]
+        assert "5.00E-1" in lines[1]
+
+    def test_format_table_missing_cell(self):
+        text = format_table({"m": {"X": 0.5}}, columns=["X", "Y"])
+        assert "--" in text
+
+
+class TestTables:
+    def test_dataset_table(self):
+        table = dataset_table(["DBLP", "MSG"], scale="small")
+        assert set(table) == {"DBLP", "MSG"}
+        assert table["DBLP"]["edges"] > 0
+
+    def test_quality_table_structure(self, observed):
+        table = quality_table(
+            observed, methods=FAST_METHODS, reduction="median", tgae_config=CONFIG
+        )
+        assert set(table) == set(statistic_names())
+        for metric_row in table.values():
+            assert set(metric_row) == set(FAST_METHODS)
+            assert all(np.isfinite(v) for v in metric_row.values())
+
+    def test_ablation_table_structure(self, observed):
+        table = ablation_table(observed, config=CONFIG, delta=2)
+        assert set(table) == {"degree", "motif"}
+        assert set(table["degree"]) == {"TGAE", "TGAE-g", "TGAE-t", "TGAE-n", "TGAE-p"}
+
+
+class TestFigures:
+    def test_tendency_series_includes_origin(self, observed):
+        data = tendency_series(observed, methods=["E-R"], metrics=["wedge_count"])
+        assert "Origin" in data
+        assert "E-R" in data
+        assert data["Origin"]["wedge_count"].shape == (observed.num_timestamps,)
+
+    def test_figure5_metric_list(self):
+        assert len(FIGURE5_METRICS) == 6
+        assert "mean_degree" not in FIGURE5_METRICS
+
+    def test_log_series_zero_floor(self):
+        out = log_series(np.array([0.0, 1.0, np.e]))
+        assert out[0] == 0.0
+        assert out[2] == pytest.approx(1.0)
+
+    def test_render_tendency_text(self, observed):
+        data = tendency_series(observed, methods=["E-R"], metrics=["wedge_count"])
+        text = render_tendency(data, "wedge_count")
+        assert "Origin" in text.splitlines()[0]
+        assert len(text.splitlines()) == observed.num_timestamps + 1
+
+    def test_fit_error_identity_zero(self, observed):
+        from repro.metrics import statistic_time_series
+
+        data = {
+            "Origin": statistic_time_series(observed, ["wedge_count"]),
+            "Copy": statistic_time_series(observed, ["wedge_count"]),
+        }
+        errors = tendency_fit_error(data, "wedge_count")
+        assert errors["Copy"] == 0.0
+
+
+class TestTiming:
+    def test_measure_point(self):
+        point = ScalabilityPoint(40, 5, 0.02)
+        m = measure_point(ErdosRenyiGenerator, point)
+        assert m.label == "40*5*0.02"
+        assert m.inference_seconds >= 0
+        assert m.peak_memory_bytes > 0
+        assert np.isfinite(m.log_time)
+        assert np.isfinite(m.log_memory_mib)
+
+    def test_sweep_and_render(self):
+        points = [ScalabilityPoint(30, 4, 0.02), ScalabilityPoint(60, 4, 0.02)]
+        results = sweep(points, methods={"E-R": ErdosRenyiGenerator})
+        assert len(results["E-R"]) == 2
+        text = render_sweep(results, quantity="memory")
+        assert "30*4*0.02" in text

@@ -1,0 +1,49 @@
+"""Tests for the parameter-sensitivity harness."""
+
+import pytest
+
+from repro.bench import render_sensitivity, sweep_parameter
+from repro.core import fast_config
+from repro.datasets import communication_network
+
+
+@pytest.fixture(scope="module")
+def observed():
+    return communication_network(18, 90, 4, seed=11)
+
+
+BASE = fast_config(epochs=2, num_initial_nodes=8)
+
+
+class TestSweep:
+    def test_one_point_per_value(self, observed):
+        points = sweep_parameter(observed, BASE, "radius", [1, 2])
+        assert [p.value for p in points] == [1, 2]
+        assert all(p.parameter == "radius" for p in points)
+
+    def test_measures_populated(self, observed):
+        points = sweep_parameter(observed, BASE, "num_initial_nodes", [8])
+        p = points[0]
+        assert p.fit_seconds > 0
+        assert p.generate_seconds > 0
+        assert p.mean_error >= 0
+        assert len(p.per_metric) == 7
+
+    def test_unknown_parameter_raises(self, observed):
+        with pytest.raises(KeyError):
+            sweep_parameter(observed, BASE, "not_a_field", [1])
+
+    def test_base_config_not_mutated(self, observed):
+        sweep_parameter(observed, BASE, "radius", [3])
+        assert BASE.radius == 2
+
+
+class TestRender:
+    def test_render_contains_values(self, observed):
+        points = sweep_parameter(observed, BASE, "radius", [1, 2])
+        text = render_sensitivity(points)
+        assert "radius" in text
+        assert len(text.splitlines()) == 3
+
+    def test_render_empty(self):
+        assert "empty" in render_sensitivity([])

@@ -1,0 +1,136 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import TemporalGraph, load_edge_list, save_edge_list
+
+
+@pytest.fixture()
+def edge_list(tmp_path):
+    rng = np.random.default_rng(0)
+    g = TemporalGraph(15, rng.integers(0, 15, 80), rng.integers(0, 15, 80),
+                      np.sort(rng.integers(0, 4, 80)), num_timestamps=4)
+    path = tmp_path / "observed.txt"
+    save_edge_list(g, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "DBLP" in out
+        assert "UBUNTU" in out
+
+    def test_table_bad_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+
+class TestPipeline:
+    def test_fit_generate_evaluate(self, tmp_path, edge_list, capsys):
+        model_path = tmp_path / "model.npz"
+        output_path = tmp_path / "generated.txt"
+        assert main([
+            "fit", "--input", str(edge_list), "--model", str(model_path),
+            "--epochs", "3", "--initial-nodes", "16",
+        ]) == 0
+        assert model_path.exists()
+
+        assert main([
+            "generate", "--model", str(model_path),
+            "--output", str(output_path), "--seed", "1",
+        ]) == 0
+        generated = load_edge_list(output_path)
+        observed = load_edge_list(edge_list)
+        assert generated.num_edges == observed.num_edges
+
+        assert main([
+            "evaluate", "--observed", str(edge_list),
+            "--generated", str(output_path), "--delta", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "motif_mmd" in out
+
+    def test_missing_graph_source_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fit", "--model", str(tmp_path / "m.npz")])
+
+
+class TestTableCommand:
+    def test_table6_on_file(self, edge_list, capsys):
+        assert main([
+            "table", "6", "--input", str(edge_list),
+            "--epochs", "2", "--initial-nodes", "16", "--delta", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "TGAE" in out
+
+    def test_sensitivity_command(self, edge_list, capsys):
+        assert main([
+            "sensitivity", "--input", str(edge_list),
+            "--epochs", "2", "--initial-nodes", "8",
+            "--parameter", "radius", "--values", "1", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "radius" in out
+        assert "mean err" in out
+
+
+class TestStats:
+    def test_stats_on_edge_list(self, edge_list, capsys):
+        assert main(["stats", "--input", str(edge_list)]) == 0
+        out = capsys.readouterr().out
+        assert "Table III statistics" in out
+        assert "global_clustering" in out
+        assert "burstiness" in out
+
+    def test_stats_on_dataset(self, capsys):
+        assert main(["stats", "--dataset", "DBLP", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "temporal signature" in out
+
+    def test_stats_requires_source(self):
+        with pytest.raises(SystemExit):
+            main(["stats"])
+
+
+class TestConvert:
+    def test_snapshots_to_events_and_back(self, tmp_path, edge_list, capsys):
+        events_path = tmp_path / "events.txt"
+        back_path = tmp_path / "back.txt"
+        assert main([
+            "convert", "--to", "events", "--input", str(edge_list),
+            "--output", str(events_path), "--spread", "start",
+        ]) == 0
+        assert events_path.exists()
+        assert main([
+            "convert", "--to", "snapshots", "--input", str(events_path),
+            "--output", str(back_path), "--bins", "4",
+        ]) == 0
+        original = load_edge_list(edge_list)
+        back = load_edge_list(back_path)
+        assert back.num_edges == original.num_edges
+        # Deterministic "start" spread + equal-width re-binning round-trips.
+        assert back == original
+
+    def test_convert_to_events_uniform_seeded(self, tmp_path, edge_list):
+        out1 = tmp_path / "e1.txt"
+        out2 = tmp_path / "e2.txt"
+        for out in (out1, out2):
+            assert main([
+                "convert", "--to", "events", "--input", str(edge_list),
+                "--output", str(out), "--spread", "uniform", "--seed", "9",
+            ]) == 0
+        assert out1.read_text() == out2.read_text()
+
+    def test_convert_requires_to(self, edge_list, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["convert", "--input", str(edge_list),
+                  "--output", str(tmp_path / "x.txt")])

@@ -1,0 +1,82 @@
+"""Tests for TGAEConfig validation and the variant constructors."""
+
+import pytest
+
+from repro.core import NO_TRUNCATION, TGAEConfig, fast_config
+from repro.errors import ConfigError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        TGAEConfig()
+
+    def test_radius_positive(self):
+        with pytest.raises(ConfigError):
+            TGAEConfig(radius=0)
+
+    def test_threshold_positive(self):
+        with pytest.raises(ConfigError):
+            TGAEConfig(neighbor_threshold=0)
+
+    def test_window_non_negative(self):
+        with pytest.raises(ConfigError):
+            TGAEConfig(time_window=-1)
+
+    @pytest.mark.parametrize(
+        "field", ["embed_dim", "hidden_dim", "latent_dim", "num_heads",
+                  "num_initial_nodes", "epochs"]
+    )
+    def test_positive_int_fields(self, field):
+        with pytest.raises(ConfigError):
+            TGAEConfig(**{field: 0})
+
+    def test_learning_rate_positive(self):
+        with pytest.raises(ConfigError):
+            TGAEConfig(learning_rate=0.0)
+
+    def test_kl_weight_non_negative(self):
+        with pytest.raises(ConfigError):
+            TGAEConfig(kl_weight=-0.1)
+
+    def test_frozen(self):
+        config = TGAEConfig()
+        with pytest.raises(AttributeError):
+            config.radius = 5
+
+
+class TestVariants:
+    def test_random_walk_variant(self):
+        base = TGAEConfig(neighbor_threshold=20)
+        variant = base.as_random_walk_variant()
+        assert variant.neighbor_threshold < 2
+        assert variant.radius == base.radius
+
+    def test_no_truncation_variant(self):
+        variant = TGAEConfig().as_no_truncation_variant()
+        assert variant.neighbor_threshold == NO_TRUNCATION
+
+    def test_uniform_sampling_variant(self):
+        variant = TGAEConfig().as_uniform_sampling_variant()
+        assert variant.uniform_initial_sampling
+        assert not TGAEConfig().uniform_initial_sampling
+
+    def test_non_probabilistic_variant(self):
+        variant = TGAEConfig().as_non_probabilistic_variant()
+        assert not variant.probabilistic
+
+    def test_variants_leave_base_untouched(self):
+        base = TGAEConfig()
+        base.as_random_walk_variant()
+        assert base.neighbor_threshold == 20
+
+
+class TestFastConfig:
+    def test_small_and_valid(self):
+        config = fast_config()
+        assert config.epochs <= 10
+        assert config.embed_dim <= 32
+
+    def test_overrides(self):
+        config = fast_config(epochs=99, radius=3)
+        assert config.epochs == 99
+        assert config.radius == 3

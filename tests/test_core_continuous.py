@@ -1,0 +1,129 @@
+"""Tests for the continuous-time generation wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ErdosRenyiGenerator, RTGenGenerator
+from repro.core import ContinuousTimeGenerator, TGAEGenerator, fast_config
+from repro.errors import ConfigError, NotFittedError
+from repro.graph import EventStream, burstiness, from_temporal_graph, inter_event_times
+
+
+def bursty_stream(seed=0, n=20, events_per_burst=30, bursts=8):
+    """Events arrive in tight bursts separated by long silences."""
+    rng = np.random.default_rng(seed)
+    src, dst, times = [], [], []
+    for burst in range(bursts):
+        center = burst * 100.0
+        for _ in range(events_per_burst):
+            u = int(rng.integers(0, n))
+            v = int((u + 1 + rng.integers(0, n - 1)) % n)
+            src.append(u)
+            dst.append(v)
+            times.append(center + float(rng.uniform(0.0, 2.0)))
+    return EventStream(n, src, dst, times)
+
+
+def uniform_stream(seed=0, n=15, m=120, span=50.0):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = (src + 1 + rng.integers(0, n - 1, m)) % n
+    return EventStream(n, src, dst, rng.uniform(0.0, span, m))
+
+
+class TestLifecycle:
+    def test_generate_before_fit(self):
+        gen = ContinuousTimeGenerator(ErdosRenyiGenerator(), num_bins=4)
+        with pytest.raises(NotFittedError):
+            gen.generate()
+
+    def test_invalid_bins_rejected(self):
+        with pytest.raises(ConfigError):
+            ContinuousTimeGenerator(ErdosRenyiGenerator(), num_bins=0)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            ContinuousTimeGenerator(ErdosRenyiGenerator(), policy="log")
+
+    def test_fit_returns_self(self):
+        gen = ContinuousTimeGenerator(ErdosRenyiGenerator(), num_bins=4)
+        assert gen.fit(uniform_stream()) is gen
+        assert gen.is_fitted
+
+    def test_name_includes_base(self):
+        gen = ContinuousTimeGenerator(ErdosRenyiGenerator(), num_bins=4)
+        assert "E-R" in gen.name or "ErdosRenyi" in gen.name
+
+
+class TestGeneration:
+    def test_output_is_event_stream(self):
+        stream = uniform_stream()
+        gen = ContinuousTimeGenerator(ErdosRenyiGenerator(), num_bins=5).fit(stream)
+        out = gen.generate(seed=0)
+        assert isinstance(out, EventStream)
+        assert out.num_nodes == stream.num_nodes
+        assert out.num_events == stream.num_events
+
+    def test_times_within_observed_span(self):
+        stream = uniform_stream()
+        gen = ContinuousTimeGenerator(ErdosRenyiGenerator(), num_bins=5).fit(stream)
+        out = gen.generate(seed=1)
+        lo, hi = stream.time_span
+        assert out.times.min() >= lo - 1e-9
+        assert out.times.max() <= hi + 1e-9
+
+    def test_reproducible_under_seed(self):
+        stream = uniform_stream()
+        gen = ContinuousTimeGenerator(ErdosRenyiGenerator(), num_bins=5).fit(stream)
+        assert gen.generate(seed=7) == gen.generate(seed=7)
+
+    def test_works_with_tgae(self):
+        stream = uniform_stream(m=80)
+        gen = ContinuousTimeGenerator(
+            TGAEGenerator(fast_config(epochs=2, num_initial_nodes=8)), num_bins=4
+        ).fit(stream)
+        out = gen.generate(seed=0)
+        assert out.num_events == stream.num_events
+
+    def test_equal_frequency_policy(self):
+        stream = bursty_stream()
+        gen = ContinuousTimeGenerator(
+            ErdosRenyiGenerator(), num_bins=8, policy="equal_frequency"
+        ).fit(stream)
+        out = gen.generate(seed=0)
+        assert out.num_events == stream.num_events
+
+
+class TestTemporalTexture:
+    def test_bursty_input_stays_bursty(self):
+        """The empirical-offset lift must preserve burstiness far better
+        than the uniform smear."""
+        stream = bursty_stream()
+        observed_b = burstiness(inter_event_times(stream))
+        assert observed_b > 0.3  # the input really is bursty
+
+        gen = ContinuousTimeGenerator(
+            RTGenGenerator(), num_bins=8, policy="equal_width"
+        ).fit(stream)
+        lifted = gen.generate(seed=0)
+        lifted_b = burstiness(inter_event_times(lifted))
+
+        # Uniform smear of the same binned graph for contrast.
+        binned = stream.to_temporal_graph(8)
+        smeared = from_temporal_graph(
+            binned, bin_width=stream.duration / 8, spread="uniform", seed=0
+        )
+        smeared_b = burstiness(inter_event_times(smeared))
+
+        assert abs(lifted_b - observed_b) < abs(smeared_b - observed_b)
+
+    def test_quiet_bins_stay_quiet(self):
+        """No generated event may land in a span the observed stream left
+        empty (equal-width bins, empty bin -> zero generated edges there)."""
+        stream = bursty_stream()
+        gen = ContinuousTimeGenerator(RTGenGenerator(), num_bins=8).fit(stream)
+        out = gen.generate(seed=3)
+        # Count generated events inside observed silent gaps (between
+        # bursts, e.g. time 10..90 of each 100-wide period).
+        silent = (out.times % 100.0 > 10.0) & (out.times % 100.0 < 90.0)
+        assert silent.mean() < 0.2

@@ -1,0 +1,85 @@
+"""Tests for external node-feature support (Sec. III: with/w.o. features)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TGAEGenerator, TGAEModel, fast_config
+from repro.datasets import communication_network
+
+
+@pytest.fixture(scope="module")
+def observed():
+    return communication_network(15, 80, 4, seed=13)
+
+
+CONFIG = fast_config(epochs=2, num_initial_nodes=8)
+
+
+class TestStaticFeatures:
+    def test_fit_with_static_features(self, observed):
+        features = np.random.default_rng(0).standard_normal((observed.num_nodes, 5))
+        generator = TGAEGenerator(CONFIG).fit(observed, node_features=features)
+        generated = generator.generate(seed=0)
+        assert generated.num_edges == observed.num_edges
+
+    def test_features_change_encoding(self, observed):
+        model = TGAEModel(observed.num_nodes, observed.num_timestamps, CONFIG,
+                          feature_dim=5)
+        nodes = np.array([[0, 0], [1, 1]])
+        baseline = model.encoder.node_features(nodes).numpy()
+        features = np.random.default_rng(1).standard_normal((observed.num_nodes, 5))
+        model.encoder.set_external_features(features)
+        augmented = model.encoder.node_features(nodes).numpy()
+        assert not np.allclose(baseline, augmented)
+
+    def test_clearing_features(self, observed):
+        model = TGAEModel(observed.num_nodes, observed.num_timestamps, CONFIG,
+                          feature_dim=5)
+        features = np.random.default_rng(1).standard_normal((observed.num_nodes, 5))
+        model.encoder.set_external_features(features)
+        model.encoder.set_external_features(None)
+        nodes = np.array([[0, 0]])
+        baseline = TGAEModel(
+            observed.num_nodes, observed.num_timestamps, CONFIG, feature_dim=5
+        ).encoder.node_features(nodes).numpy()
+        assert np.allclose(model.encoder.node_features(nodes).numpy(), baseline)
+
+
+class TestTemporalFeatures:
+    def test_fit_with_per_snapshot_features(self, observed):
+        features = np.random.default_rng(2).standard_normal(
+            (observed.num_timestamps, observed.num_nodes, 3)
+        )
+        generator = TGAEGenerator(CONFIG).fit(observed, node_features=features)
+        assert generator.generate(seed=0).num_edges == observed.num_edges
+
+    def test_time_indexed_lookup(self, observed):
+        model = TGAEModel(observed.num_nodes, observed.num_timestamps, CONFIG,
+                          feature_dim=2)
+        features = np.zeros((observed.num_timestamps, observed.num_nodes, 2))
+        features[1, 3] = [100.0, 100.0]
+        model.encoder.set_external_features(features)
+        at_t0 = model.encoder.node_features(np.array([[3, 0]])).numpy()
+        at_t1 = model.encoder.node_features(np.array([[3, 1]])).numpy()
+        assert not np.allclose(at_t0, at_t1)
+
+
+class TestValidation:
+    def test_wrong_shape_raises(self, observed):
+        model = TGAEModel(observed.num_nodes, observed.num_timestamps, CONFIG,
+                          feature_dim=5)
+        with pytest.raises(ValueError):
+            model.encoder.set_external_features(np.zeros((3, 5)))
+
+    def test_wrong_rank_raises(self, observed):
+        model = TGAEModel(observed.num_nodes, observed.num_timestamps, CONFIG,
+                          feature_dim=5)
+        with pytest.raises(ValueError):
+            model.encoder.set_external_features(np.zeros(5))
+
+    def test_features_without_support_raise(self, observed):
+        model = TGAEModel(observed.num_nodes, observed.num_timestamps, CONFIG)
+        with pytest.raises(ValueError):
+            model.encoder.set_external_features(
+                np.zeros((observed.num_nodes, 5))
+            )

@@ -1,0 +1,95 @@
+"""Tests for the TGAE objective (Eqs. 6-7) and target-row extraction."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import tensor
+from repro.core import adjacency_target_rows, reconstruction_loss, tgae_loss
+from repro.core.decoder import DecoderOutput
+from repro.errors import ShapeError
+
+
+class TestReconstructionLoss:
+    def test_perfect_prediction_near_zero(self):
+        logits = tensor(np.array([[50.0, 0.0, 0.0], [0.0, 50.0, 0.0]]))
+        loss = reconstruction_loss(logits, [np.array([0]), np.array([1])])
+        assert loss.item() < 1e-6
+
+    def test_uniform_logits_log_n(self):
+        n = 4
+        logits = tensor(np.zeros((1, n)))
+        loss = reconstruction_loss(logits, [np.array([2])])
+        assert loss.item() == pytest.approx(np.log(n))
+
+    def test_empty_rows_skipped(self):
+        logits = tensor(np.zeros((2, 3)))
+        loss_one = reconstruction_loss(logits, [np.array([0]), np.array([])])
+        loss_full = reconstruction_loss(logits, [np.array([0]), np.array([0])])
+        assert loss_one.item() == pytest.approx(loss_full.item())
+
+    def test_all_empty_rows_zero_loss(self):
+        logits = tensor(np.zeros((2, 3)))
+        assert reconstruction_loss(logits, [np.array([]), np.array([])]).item() == 0.0
+
+    def test_multi_edge_targets_weighted(self):
+        """Repeated neighbours concentrate target mass."""
+        logits = tensor(np.array([[10.0, 0.0]]))
+        concentrated = reconstruction_loss(logits, [np.array([0, 0, 0])])
+        spread = reconstruction_loss(logits, [np.array([0, 1, 1])])
+        assert concentrated.item() < spread.item()
+
+    def test_row_count_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            reconstruction_loss(tensor(np.zeros((2, 3))), [np.array([0])])
+
+    def test_gradient_direction(self):
+        """The gradient must push probability mass towards the target."""
+        logits = tensor(np.zeros((1, 3)), requires_grad=True)
+        reconstruction_loss(logits, [np.array([1])]).backward()
+        grad = logits.grad[0]
+        assert grad[1] < 0  # increase target logit
+        assert grad[0] > 0 and grad[2] > 0
+
+
+class TestTgaeLoss:
+    def _decoded(self, with_sigma=True):
+        logits = tensor(np.zeros((2, 3)), requires_grad=True)
+        mu = tensor(np.ones((2, 2)), requires_grad=True)
+        log_sigma = tensor(np.zeros((2, 2)), requires_grad=True) if with_sigma else None
+        return DecoderOutput(logits=logits, mu=mu, log_sigma=log_sigma, latent=mu)
+
+    def test_kl_term_added(self):
+        targets = [np.array([0]), np.array([1])]
+        with_kl = tgae_loss(self._decoded(), targets, kl_weight=1.0).item()
+        without_kl = tgae_loss(self._decoded(), targets, kl_weight=0.0).item()
+        assert with_kl > without_kl
+
+    def test_non_probabilistic_ignores_kl(self):
+        targets = [np.array([0]), np.array([1])]
+        loss = tgae_loss(self._decoded(with_sigma=False), targets, kl_weight=1.0).item()
+        reference = tgae_loss(self._decoded(), targets, kl_weight=0.0).item()
+        assert loss == pytest.approx(reference)
+
+
+class TestTargetRows:
+    def test_extracts_out_neighbors_at_timestamp(self):
+        src = np.array([0, 0, 1, 0])
+        dst = np.array([1, 2, 2, 1])
+        t = np.array([0, 0, 1, 1])
+        rows = adjacency_target_rows(src, dst, t, np.array([[0, 0], [0, 1], [1, 1]]))
+        assert sorted(rows[0].tolist()) == [1, 2]
+        assert rows[1].tolist() == [1]
+        assert rows[2].tolist() == [2]
+
+    def test_missing_center_gets_empty_row(self):
+        src, dst, t = np.array([0]), np.array([1]), np.array([0])
+        rows = adjacency_target_rows(src, dst, t, np.array([[1, 0], [0, 1]]))
+        assert rows[0].size == 0
+        assert rows[1].size == 0
+
+    def test_multi_edges_preserved(self):
+        src = np.array([0, 0])
+        dst = np.array([1, 1])
+        t = np.array([0, 0])
+        rows = adjacency_target_rows(src, dst, t, np.array([[0, 0]]))
+        assert rows[0].tolist() == [1, 1]

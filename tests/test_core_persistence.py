@@ -1,0 +1,56 @@
+"""Tests for TGAE generator save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.core import TGAEGenerator, fast_config, load_generator, save_generator
+from repro.datasets import communication_network
+from repro.errors import ConfigError, NotFittedError
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    graph = communication_network(20, 100, 4, seed=2)
+    return TGAEGenerator(fast_config(epochs=3, num_initial_nodes=16)).fit(graph)
+
+
+class TestRoundTrip:
+    def test_identical_generation_after_reload(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_generator(fitted, path)
+        restored = load_generator(path)
+        assert restored.generate(seed=7) == fitted.generate(seed=7)
+
+    def test_parameters_preserved(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_generator(fitted, path)
+        restored = load_generator(path)
+        original_state = fitted.model.state_dict()
+        restored_state = restored.model.state_dict()
+        assert set(original_state) == set(restored_state)
+        for key in original_state:
+            assert np.allclose(original_state[key], restored_state[key])
+
+    def test_config_preserved(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_generator(fitted, path)
+        restored = load_generator(path)
+        assert restored.config == fitted.config
+
+    def test_observed_graph_preserved(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        save_generator(fitted, path)
+        restored = load_generator(path)
+        assert restored.observed == fitted.observed
+
+
+class TestErrors:
+    def test_save_unfitted_raises(self, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_generator(TGAEGenerator(fast_config()), tmp_path / "x.npz")
+
+    def test_load_garbage_raises(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ConfigError):
+            load_generator(path)

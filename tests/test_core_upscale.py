@@ -1,0 +1,136 @@
+"""Tests for upscaled (larger-than-observed) generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ErdosRenyiGenerator
+from repro.core import TGAEGenerator, UpscaledGenerator, expand_temporal_graph, fast_config
+from repro.datasets import communication_network
+from repro.errors import ConfigError, NotFittedError
+from repro.graph import TemporalGraph
+
+
+def small_graph(seed=0, n=15, m=90, T=4):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = (src + 1 + rng.integers(0, n - 1, m)) % n
+    t = rng.integers(0, T, m)
+    return TemporalGraph(n, src, dst, t, num_timestamps=T)
+
+
+class TestExpand:
+    def test_counts_scale_exactly(self):
+        g = small_graph()
+        big = expand_temporal_graph(g, 3, seed=0)
+        assert big.num_nodes == g.num_nodes * 3
+        assert big.num_edges == g.num_edges * 3
+        assert big.num_timestamps == g.num_timestamps
+
+    def test_factor_one_is_copy(self):
+        g = small_graph()
+        same = expand_temporal_graph(g, 1, seed=0)
+        assert same == g
+        assert same is not g
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            expand_temporal_graph(small_graph(), 0)
+
+    def test_per_timestamp_counts_scale(self):
+        g = small_graph()
+        big = expand_temporal_graph(g, 4, seed=1)
+        obs = np.bincount(g.t, minlength=g.num_timestamps)
+        got = np.bincount(big.t, minlength=big.num_timestamps)
+        assert np.array_equal(got, obs * 4)
+
+    def test_clone_blocks_respected(self):
+        """Every expanded endpoint is a clone of the original endpoint."""
+        g = small_graph()
+        factor = 3
+        big = expand_temporal_graph(g, factor, seed=2)
+        src_proto = big.src // factor
+        dst_proto = big.dst // factor
+        assert np.array_equal(src_proto, np.repeat(g.src, factor))
+        assert np.array_equal(dst_proto, np.repeat(g.dst, factor))
+
+    def test_no_self_loops_when_input_clean(self):
+        g = small_graph()
+        assert not np.any(g.src == g.dst)
+        big = expand_temporal_graph(g, 2, seed=3)
+        assert not np.any(big.src == big.dst)
+
+    def test_deterministic_under_seed(self):
+        g = small_graph()
+        assert expand_temporal_graph(g, 3, seed=5) == expand_temporal_graph(g, 3, seed=5)
+
+    def test_degree_mass_conserved_per_prototype(self):
+        """Clones of ``u`` carry exactly ``factor`` times u's degree in total,
+        so the degree distribution is preserved in expectation."""
+        g = communication_network(40, 600, 4, seed=7)
+        factor = 4
+        big = expand_temporal_graph(g, factor, seed=0)
+        obs_deg = g.static_degrees()
+        clone_deg = big.static_degrees().reshape(g.num_nodes, factor).sum(axis=1)
+        assert np.array_equal(clone_deg, obs_deg * factor)
+
+    def test_mean_clone_degree_matches_prototype(self):
+        """Per-clone mean degree equals the prototype degree (sampled check)."""
+        g = communication_network(40, 600, 4, seed=7)
+        factor = 8
+        big = expand_temporal_graph(g, factor, seed=1)
+        obs_deg = g.static_degrees().astype(np.float64)
+        clone_mean = big.static_degrees().reshape(g.num_nodes, factor).mean(axis=1)
+        assert np.allclose(clone_mean, obs_deg)
+
+
+class TestUpscaledGenerator:
+    def test_wraps_any_generator(self):
+        g = small_graph()
+        up = UpscaledGenerator(ErdosRenyiGenerator(), factor=3).fit(g)
+        big = up.generate(seed=0)
+        assert big.num_nodes == g.num_nodes * 3
+        assert big.num_edges == g.num_edges * 3
+
+    def test_wraps_tgae(self):
+        g = small_graph(m=60)
+        up = UpscaledGenerator(
+            TGAEGenerator(fast_config(epochs=2, num_initial_nodes=8)), factor=2
+        ).fit(g)
+        big = up.generate(seed=0)
+        assert big.num_nodes == g.num_nodes * 2
+
+    def test_name_includes_factor(self):
+        up = UpscaledGenerator(ErdosRenyiGenerator(), factor=5)
+        assert up.name.endswith("x5")
+
+    def test_not_fitted_error(self):
+        with pytest.raises(NotFittedError):
+            UpscaledGenerator(ErdosRenyiGenerator(), factor=2).generate()
+
+    def test_invalid_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            UpscaledGenerator(ErdosRenyiGenerator(), factor=0)
+
+    def test_reproducible(self):
+        g = small_graph()
+        up = UpscaledGenerator(ErdosRenyiGenerator(), factor=2).fit(g)
+        assert up.generate(seed=4) == up.generate(seed=4)
+
+    def test_different_seeds_differ(self):
+        g = small_graph()
+        up = UpscaledGenerator(ErdosRenyiGenerator(), factor=2).fit(g)
+        assert up.generate(seed=1) != up.generate(seed=2)
+
+
+class TestProperties:
+    @given(st.integers(1, 5), st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_scaling_invariants(self, factor, seed):
+        g = small_graph(seed=seed % 7)
+        big = expand_temporal_graph(g, factor, seed=seed)
+        assert big.num_nodes == g.num_nodes * factor
+        assert big.num_edges == g.num_edges * factor
+        assert big.src.max() < big.num_nodes
+        assert big.dst.max() < big.num_nodes

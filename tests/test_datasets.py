@@ -1,0 +1,172 @@
+"""Tests for the dataset registry, synthetic generators, scalability grid."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASETS,
+    available_datasets,
+    citation_network,
+    communication_network,
+    dataset_statistics,
+    density_scale_sweep,
+    erdos_renyi_temporal,
+    get_spec,
+    load_dataset,
+    make_scalability_graph,
+    make_synthetic,
+    node_scale_sweep,
+    qa_network,
+    timestamp_scale_sweep,
+    trust_network,
+    ScalabilityPoint,
+)
+from repro.errors import ConfigError, DatasetError
+from repro.graph import cumulative_snapshots
+from repro.metrics import power_law_exponent
+
+
+class TestRegistry:
+    def test_seven_datasets(self):
+        assert len(available_datasets()) == 7
+
+    def test_paper_scale_matches_table2(self):
+        spec = get_spec("DBLP", scale="paper")
+        assert (spec.num_nodes, spec.num_edges, spec.num_timestamps) == (1909, 8237, 15)
+
+    def test_table2_sizes_verbatim(self):
+        expected = {
+            "EMAIL": (986, 332_334, 805),
+            "MATH": (24_818, 506_550, 79),
+            "UBUNTU": (159_316, 964_437, 88),
+        }
+        for name, sizes in expected.items():
+            spec = DATASETS[name]
+            assert (spec.num_nodes, spec.num_edges, spec.num_timestamps) == sizes
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("NOPE")
+
+    def test_unknown_scale(self):
+        with pytest.raises(DatasetError):
+            load_dataset("DBLP", scale="gigantic")
+
+    def test_case_insensitive(self):
+        assert get_spec("dblp").name == "DBLP"
+
+    def test_small_scale_loads(self):
+        g = load_dataset("DBLP", scale="small")
+        assert g.num_nodes >= 30
+        assert g.num_edges >= 120
+
+    def test_deterministic(self):
+        assert load_dataset("MSG", scale="small") == load_dataset("MSG", scale="small")
+
+    def test_statistics_helper(self):
+        g = load_dataset("DBLP", scale="small")
+        stats = dataset_statistics(g)
+        assert stats == {
+            "nodes": g.num_nodes,
+            "edges": g.num_edges,
+            "timestamps": g.num_timestamps,
+        }
+
+    def test_all_datasets_load_small(self):
+        for name in available_datasets():
+            g = load_dataset(name, scale="small")
+            assert g.num_edges > 0
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "factory",
+        [citation_network, communication_network, trust_network, qa_network,
+         erdos_renyi_temporal],
+    )
+    def test_respects_requested_sizes(self, factory):
+        g = factory(50, 200, 8, seed=1)
+        assert g.num_nodes == 50
+        assert g.num_edges == 200
+        assert g.num_timestamps == 8
+
+    @pytest.mark.parametrize(
+        "factory",
+        [citation_network, communication_network, trust_network, qa_network],
+    )
+    def test_no_self_loops(self, factory):
+        g = factory(40, 150, 6, seed=2)
+        assert np.all(g.src != g.dst)
+
+    def test_seed_determinism(self):
+        a = communication_network(40, 150, 6, seed=3)
+        b = communication_network(40, 150, 6, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = communication_network(40, 150, 6, seed=3)
+        b = communication_network(40, 150, 6, seed=4)
+        assert a != b
+
+    def test_citation_network_grows(self):
+        g = citation_network(60, 300, 10, seed=0)
+        snaps = cumulative_snapshots(g)
+        # Densifying growth: later snapshots strictly larger.
+        assert snaps[-1].num_edges > snaps[len(snaps) // 2].num_edges > 0
+
+    def test_citation_heavy_tail(self):
+        g = citation_network(200, 1000, 10, seed=0)
+        final = cumulative_snapshots(g)[-1]
+        degrees = final.degrees()
+        # Preferential attachment: max degree far above mean.
+        assert degrees.max() > 4 * degrees[degrees > 0].mean()
+
+    def test_qa_core_concentration(self):
+        g = qa_network(100, 500, 8, seed=0)
+        out_deg = np.bincount(g.src, minlength=100)
+        # All sources come from the small core.
+        assert np.count_nonzero(out_deg) <= max(int(100 * 0.05), 2)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigError):
+            citation_network(1, 10, 5)
+        with pytest.raises(ConfigError):
+            communication_network(10, 0, 5)
+
+    def test_make_synthetic_dispatch(self):
+        g = make_synthetic("trust", 30, 100, 5, seed=0)
+        assert g.num_edges == 100
+
+    def test_make_synthetic_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            make_synthetic("nope", 30, 100, 5)
+
+
+class TestScalabilityGrid:
+    def test_node_sweep_labels(self):
+        points = node_scale_sweep(base_nodes=1000, steps=5)
+        assert [p.label for p in points] == [
+            "1k*10*0.01", "2k*10*0.01", "3k*10*0.01", "4k*10*0.01", "5k*10*0.01"
+        ]
+
+    def test_timestamp_sweep(self):
+        points = timestamp_scale_sweep(base_nodes=1000, steps=5)
+        assert [p.num_timestamps for p in points] == [10, 20, 30, 40, 50]
+
+    def test_density_sweep(self):
+        points = density_scale_sweep(base_nodes=1000, steps=5)
+        assert [round(p.density, 2) for p in points] == [0.01, 0.02, 0.03, 0.04, 0.05]
+
+    def test_edge_count_formula(self):
+        p = ScalabilityPoint(100, 10, 0.02)
+        assert p.num_edges == 200
+
+    def test_graph_materialisation(self):
+        g = make_scalability_graph(ScalabilityPoint(100, 10, 0.01))
+        assert g.num_nodes == 100
+        assert g.num_edges == 100
+        assert g.num_timestamps == 10
+
+    def test_invalid_base(self):
+        with pytest.raises(ConfigError):
+            node_scale_sweep(base_nodes=5)

@@ -1,0 +1,101 @@
+"""Tests for the temporal train/test split utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import edge_holdout, temporal_split
+from repro.errors import GraphFormatError
+from repro.graph import TemporalGraph
+
+
+def sample_graph(seed=0, n=12, m=80, T=5):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = (src + 1 + rng.integers(0, n - 1, m)) % n
+    t = rng.integers(0, T, m)
+    return TemporalGraph(n, src, dst, t, num_timestamps=T)
+
+
+class TestTemporalSplit:
+    def test_partition_by_time(self):
+        g = sample_graph()
+        train, test = temporal_split(g, 0.8)
+        boundary = int(np.ceil(g.num_timestamps * 0.8))
+        assert np.all(train.t < boundary)
+        assert np.all(test.t >= boundary)
+
+    def test_edges_partitioned(self):
+        g = sample_graph()
+        train, test = temporal_split(g, 0.6)
+        assert train.num_edges + test.num_edges == g.num_edges
+
+    def test_universe_and_T_preserved(self):
+        g = sample_graph()
+        train, test = temporal_split(g, 0.5)
+        for part in (train, test):
+            assert part.num_nodes == g.num_nodes
+            assert part.num_timestamps == g.num_timestamps
+
+    def test_extreme_fractions_clamped(self):
+        g = sample_graph(T=3)
+        train, test = temporal_split(g, 0.01)
+        # At least one timestamp on each side.
+        assert np.all(train.t < g.num_timestamps - 1) or train.num_edges == 0
+        assert test.num_edges + train.num_edges == g.num_edges
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(GraphFormatError):
+            temporal_split(sample_graph(), 0.0)
+        with pytest.raises(GraphFormatError):
+            temporal_split(sample_graph(), 1.0)
+
+
+class TestEdgeHoldout:
+    def test_partition_size(self):
+        g = sample_graph()
+        train, held = edge_holdout(g, 0.25, seed=0)
+        assert held.num_edges == round(g.num_edges * 0.25)
+        assert train.num_edges + held.num_edges == g.num_edges
+
+    def test_deterministic(self):
+        g = sample_graph()
+        assert edge_holdout(g, 0.3, seed=1)[1] == edge_holdout(g, 0.3, seed=1)[1]
+
+    def test_timestamps_preserved(self):
+        g = sample_graph()
+        train, held = edge_holdout(g, 0.5, seed=2)
+        merged = np.sort(np.concatenate([train.t, held.t]))
+        assert np.array_equal(merged, np.sort(g.t))
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(GraphFormatError):
+            edge_holdout(sample_graph(), 1.5)
+
+    def test_too_few_edges_rejected(self):
+        g = TemporalGraph(3, [0], [1], [0])
+        with pytest.raises(GraphFormatError):
+            edge_holdout(g, 0.5)
+
+
+class TestProperties:
+    @given(
+        st.floats(0.1, 0.9),
+        st.integers(0, 2**16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_temporal_split_partitions(self, fraction, seed):
+        g = sample_graph(seed=seed % 5)
+        train, test = temporal_split(g, fraction)
+        assert train.num_edges + test.num_edges == g.num_edges
+        if train.num_edges and test.num_edges:
+            assert train.t.max() < test.t.min()
+
+    @given(st.floats(0.1, 0.9), st.integers(0, 2**16))
+    @settings(max_examples=50, deadline=None)
+    def test_edge_holdout_partitions(self, fraction, seed):
+        g = sample_graph(seed=seed % 5)
+        train, held = edge_holdout(g, fraction, seed=seed)
+        assert train.num_edges + held.num_edges == g.num_edges
+        assert 1 <= held.num_edges <= g.num_edges - 1

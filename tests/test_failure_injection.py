@@ -1,0 +1,147 @@
+"""Failure-injection sweep: every public entry point rejects bad input loudly.
+
+A downstream user's first contact with the library is usually a mistake --
+wrong dataset name, malformed file, negative hyper-parameter.  These tests
+pin down that each mistake raises the *typed* error documented in
+:mod:`repro.errors` (never a bare ``IndexError`` three layers deep), and
+that error messages carry the offending value.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TGAEConfig, TGAEGenerator, fast_config, load_generator
+from repro.datasets import load_dataset
+from repro.errors import (
+    ConfigError,
+    DatasetError,
+    GraphFormatError,
+    NotFittedError,
+    ReproError,
+    ShapeError,
+)
+from repro.graph import TemporalGraph, load_edge_list, load_event_stream
+from repro.metrics import compare_graphs, mmd_squared
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"radius": 0},
+            {"radius": -3},
+            {"neighbor_threshold": 0},
+            {"time_window": -1},
+            {"epochs": 0},
+            {"num_initial_nodes": 0},
+            {"hidden_dim": 0},
+            {"learning_rate": 0.0},
+            {"learning_rate": -1e-3},
+            {"kl_weight": -0.5},
+            {"candidate_limit": -1},
+        ],
+    )
+    def test_bad_hyperparameter_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            TGAEConfig(**kwargs)
+
+    def test_error_message_names_value(self):
+        with pytest.raises(ConfigError, match="radius"):
+            TGAEConfig(radius=0)
+
+    def test_fast_config_forwards_validation(self):
+        with pytest.raises(ConfigError):
+            fast_config(epochs=-5)
+
+
+class TestDatasetErrors:
+    def test_unknown_dataset_name(self):
+        with pytest.raises(DatasetError, match="NOPE"):
+            load_dataset("NOPE")
+
+    def test_unknown_scale(self):
+        with pytest.raises(DatasetError, match="galactic"):
+            load_dataset("DBLP", scale="galactic")
+
+    def test_dataset_error_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            load_dataset("NOPE")
+
+
+class TestGraphFormatErrors:
+    def test_mismatched_edge_arrays(self):
+        with pytest.raises(GraphFormatError):
+            TemporalGraph(3, [0, 1], [1], [0, 0])
+
+    def test_node_id_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            TemporalGraph(3, [0, 5], [1, 2], [0, 0])
+
+    def test_timestamp_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            TemporalGraph(3, [0, 1], [1, 2], [0, 9], num_timestamps=2)
+
+    def test_nonpositive_universe(self):
+        with pytest.raises(GraphFormatError):
+            TemporalGraph(0, [], [], [])
+
+    def test_comparison_timestamp_mismatch(self):
+        a = TemporalGraph(3, [0], [1], [0], num_timestamps=2)
+        b = TemporalGraph(3, [0], [1], [0], num_timestamps=5)
+        with pytest.raises(GraphFormatError):
+            compare_graphs(a, b)
+
+
+class TestFileErrors:
+    def test_missing_edge_list(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_edge_list(tmp_path / "missing.txt")
+
+    def test_garbage_edge_list(self, tmp_path):
+        path = tmp_path / "garbage.txt"
+        path.write_text("this is not an edge list\n")
+        with pytest.raises(GraphFormatError):
+            load_edge_list(path)
+
+    def test_garbage_event_stream(self, tmp_path):
+        path = tmp_path / "garbage.txt"
+        path.write_text("1 2\n")
+        with pytest.raises(GraphFormatError):
+            load_event_stream(path)
+
+    def test_load_generator_from_non_model(self, tmp_path):
+        path = tmp_path / "not_a_model.npz"
+        np.savez(path, junk=np.arange(3))
+        with pytest.raises(ConfigError):
+            load_generator(path)
+
+
+class TestLifecycleErrors:
+    def test_generate_before_fit(self):
+        with pytest.raises(NotFittedError):
+            TGAEGenerator(fast_config(epochs=1)).generate()
+
+    def test_observed_before_fit(self):
+        with pytest.raises(NotFittedError):
+            _ = TGAEGenerator(fast_config(epochs=1)).observed
+
+    def test_fit_on_empty_graph_then_generate_fails_loudly(self):
+        empty = TemporalGraph(4, [], [], [], num_timestamps=2)
+        generator = TGAEGenerator(
+            fast_config(epochs=1, num_initial_nodes=2)
+        )
+        # Either fit or generate must raise a typed library error -- an
+        # edgeless graph cannot seed ego-graph sampling.
+        with pytest.raises(ReproError):
+            generator.fit(empty)
+            generator.generate(seed=0)
+
+
+class TestMetricShapeErrors:
+    def test_mmd_distribution_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            mmd_squared(np.ones((2, 3)), np.ones((2, 4)))
+
+    def test_mmd_empty_side(self):
+        with pytest.raises(ShapeError):
+            mmd_squared(np.ones((0, 3)), np.ones((2, 3)))

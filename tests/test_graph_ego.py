@@ -1,0 +1,166 @@
+"""Tests for ego-graph sampling (Alg. 1) and initial-node sampling (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import (
+    TemporalGraph,
+    ego_graph_batch,
+    initial_node_probabilities,
+    sample_ego_graph,
+    sample_initial_nodes,
+    sample_neighbors,
+)
+
+
+def star_graph(leaves=10):
+    """Hub node 0 connected to `leaves` leaf nodes, all at t=0."""
+    src = np.zeros(leaves, dtype=int)
+    dst = np.arange(1, leaves + 1)
+    return TemporalGraph(leaves + 1, src, dst, np.zeros(leaves, dtype=int), num_timestamps=2)
+
+
+class TestNodeSampling:
+    def test_below_threshold_untouched(self):
+        ids = np.array([1, 2, 3])
+        times = np.array([0, 0, 0])
+        out_ids, out_times = sample_neighbors(ids, times, threshold=5, rng=np.random.default_rng(0))
+        assert out_ids is ids
+
+    def test_truncates_to_threshold(self):
+        ids = np.arange(100)
+        times = np.zeros(100, dtype=int)
+        out_ids, _ = sample_neighbors(ids, times, threshold=7, rng=np.random.default_rng(0))
+        assert out_ids.size == 7
+
+    def test_sampling_is_with_replacement(self):
+        """Above-threshold sampling may repeat entries (as Alg. 1 specifies)."""
+        ids = np.arange(3)
+        times = np.zeros(3, dtype=int)
+        seen_repeat = False
+        for seed in range(50):
+            out_ids, _ = sample_neighbors(
+                np.arange(10), np.zeros(10, dtype=int), threshold=8,
+                rng=np.random.default_rng(seed),
+            )
+            if np.unique(out_ids).size < out_ids.size:
+                seen_repeat = True
+                break
+        assert seen_repeat
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigError):
+            sample_neighbors(np.arange(3), np.zeros(3, dtype=int), 0, np.random.default_rng(0))
+
+
+class TestEgoGraph:
+    def test_radius_and_layers(self):
+        g = star_graph()
+        ego = sample_ego_graph(g, (0, 0), radius=2, threshold=5, time_window=1,
+                               rng=np.random.default_rng(0))
+        assert ego.radius == 2
+        assert len(ego.layers) == 3
+        assert ego.layers[0].shape == (1, 2)
+
+    def test_layer1_nodes_are_neighbors(self):
+        g = star_graph()
+        ego = sample_ego_graph(g, (0, 0), radius=1, threshold=100, time_window=1,
+                               rng=np.random.default_rng(0))
+        layer1_nodes = set(ego.layers[1][:, 0].tolist())
+        assert layer1_nodes <= set(range(1, 11))
+        assert len(layer1_nodes) == 10  # no truncation at threshold=100
+
+    def test_threshold_bounds_layer_size(self):
+        g = star_graph(leaves=50)
+        ego = sample_ego_graph(g, (0, 0), radius=1, threshold=5, time_window=1,
+                               rng=np.random.default_rng(0))
+        assert ego.layers[1].shape[0] <= 5
+
+    def test_edges_reference_valid_indices(self):
+        g = star_graph()
+        ego = sample_ego_graph(g, (0, 0), radius=2, threshold=5, time_window=1,
+                               rng=np.random.default_rng(1))
+        for level in range(1, ego.radius + 1):
+            edges = ego.edges[level - 1]
+            if edges.size == 0:
+                continue
+            assert edges[:, 0].max() < ego.layers[level].shape[0]
+            assert edges[:, 1].max() < ego.layers[level - 1].shape[0]
+
+    def test_chain_variant_threshold_one(self):
+        """threshold=1 (TGAE-g) degenerates the ego-graph into a chain."""
+        g = star_graph()
+        ego = sample_ego_graph(g, (0, 0), radius=3, threshold=1, time_window=1,
+                               rng=np.random.default_rng(2))
+        for layer in ego.layers[1:]:
+            assert layer.shape[0] <= 1
+
+    def test_invalid_radius(self):
+        with pytest.raises(ConfigError):
+            sample_ego_graph(star_graph(), (0, 0), radius=0, threshold=5, time_window=1,
+                             rng=np.random.default_rng(0))
+
+    def test_isolated_center_has_empty_layers(self):
+        g = TemporalGraph(3, [0], [1], [0])
+        ego = sample_ego_graph(g, (2, 0), radius=2, threshold=5, time_window=1,
+                               rng=np.random.default_rng(0))
+        assert ego.layers[1].shape[0] == 0
+        assert ego.num_nodes == 1
+
+    def test_all_nodes_concatenation(self):
+        g = star_graph()
+        ego = sample_ego_graph(g, (0, 0), radius=1, threshold=100, time_window=1,
+                               rng=np.random.default_rng(0))
+        assert ego.all_nodes().shape == (11, 2)
+
+
+class TestInitialNodeSampling:
+    def test_probabilities_sum_to_one(self):
+        probs = initial_node_probabilities(star_graph())
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_degree_weighting_prefers_hub(self):
+        g = star_graph()
+        probs = initial_node_probabilities(g).reshape(g.num_nodes, g.num_timestamps)
+        # Hub has degree 10, leaves degree 1, at t=0.
+        assert probs[0, 0] == pytest.approx(10 / 20)
+        assert probs[1, 0] == pytest.approx(1 / 20)
+
+    def test_uniform_variant_over_active_nodes(self):
+        g = star_graph()
+        probs = initial_node_probabilities(g, uniform=True).reshape(
+            g.num_nodes, g.num_timestamps
+        )
+        active = probs[probs > 0]
+        assert np.allclose(active, active[0])
+        assert probs[:, 1].sum() == 0  # nothing active at t=1
+
+    def test_empty_graph_raises(self):
+        g = TemporalGraph(3, [], [], [], num_timestamps=2)
+        with pytest.raises(ConfigError):
+            initial_node_probabilities(g)
+
+    def test_sample_shape_and_ranges(self):
+        g = star_graph()
+        centers = sample_initial_nodes(g, 20, np.random.default_rng(0))
+        assert centers.shape == (20, 2)
+        assert centers[:, 0].max() < g.num_nodes
+        assert centers[:, 1].max() < g.num_timestamps
+
+    def test_hub_sampled_most_often(self):
+        g = star_graph()
+        centers = sample_initial_nodes(g, 500, np.random.default_rng(0))
+        hub_frac = np.mean(centers[:, 0] == 0)
+        assert hub_frac > 0.3  # expectation 0.5
+
+
+class TestBatch:
+    def test_batch_produces_one_ego_per_center(self):
+        g = star_graph()
+        centers = sample_initial_nodes(g, 5, np.random.default_rng(0))
+        egos = ego_graph_batch(g, centers, radius=2, threshold=4, time_window=1,
+                               rng=np.random.default_rng(1))
+        assert len(egos) == 5
+        for ego, center in zip(egos, centers):
+            assert ego.center == (int(center[0]), int(center[1]))

@@ -1,0 +1,355 @@
+"""Tests for the continuous-time event-stream representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    EventStream,
+    TemporalGraph,
+    burstiness,
+    event_rate_series,
+    from_temporal_graph,
+    inter_event_times,
+    load_event_stream,
+    memory_coefficient,
+    merge_streams,
+    save_event_stream,
+)
+
+
+def simple_stream():
+    return EventStream(4, [0, 1, 2, 0], [1, 2, 3, 2], [0.5, 2.0, 1.0, 3.5])
+
+
+class TestConstruction:
+    def test_events_sorted_by_time(self):
+        s = simple_stream()
+        assert np.all(np.diff(s.times) >= 0)
+        # Event (2 -> 3) at t=1.0 must come before (1 -> 2) at t=2.0.
+        assert s.src.tolist() == [0, 2, 1, 0]
+
+    def test_stable_sort_preserves_tie_order(self):
+        s = EventStream(3, [0, 1, 2], [1, 2, 0], [1.0, 1.0, 1.0])
+        assert s.src.tolist() == [0, 1, 2]
+
+    def test_len_and_iter(self):
+        s = simple_stream()
+        assert len(s) == 4
+        triples = list(s)
+        assert triples[0] == (0, 1, 0.5)
+        assert all(len(tr) == 3 for tr in triples)
+
+    def test_time_span_and_duration(self):
+        s = simple_stream()
+        assert s.time_span == (0.5, 3.5)
+        assert s.duration == pytest.approx(3.0)
+
+    def test_empty_stream(self):
+        s = EventStream(2, [], [], [])
+        assert s.num_events == 0
+        assert s.time_span == (0.0, 0.0)
+        assert s.duration == 0.0
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EventStream(3, [0, 1], [1], [0.0, 1.0])
+
+    def test_out_of_range_node_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EventStream(2, [0, 5], [1, 0], [0.0, 1.0])
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EventStream(2, [-1], [0], [0.0])
+
+    def test_nonpositive_num_nodes_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EventStream(0, [], [], [])
+
+    def test_nonfinite_time_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EventStream(2, [0], [1], [np.nan])
+        with pytest.raises(GraphFormatError):
+            EventStream(2, [0], [1], [np.inf])
+
+    def test_equality(self):
+        assert simple_stream() == simple_stream()
+        other = EventStream(4, [0], [1], [0.5])
+        assert simple_stream() != other
+
+    def test_copy_is_independent(self):
+        s = simple_stream()
+        c = s.copy()
+        c.src[0] = 3
+        assert s.src[0] == 0
+
+
+class TestSlicing:
+    def test_window_half_open(self):
+        s = simple_stream()
+        w = s.window(1.0, 3.5)
+        assert w.num_events == 2
+        assert w.times.tolist() == [1.0, 2.0]
+
+    def test_window_empty(self):
+        assert simple_stream().window(10.0, 20.0).num_events == 0
+
+    def test_window_end_before_start_rejected(self):
+        with pytest.raises(GraphFormatError):
+            simple_stream().window(2.0, 1.0)
+
+    def test_shifted(self):
+        s = simple_stream().shifted(10.0)
+        assert s.time_span == (10.5, 13.5)
+
+    def test_rescaled(self):
+        s = simple_stream().rescaled(2.0)
+        assert s.time_span == (1.0, 7.0)
+
+    def test_rescaled_rejects_nonpositive(self):
+        with pytest.raises(GraphFormatError):
+            simple_stream().rescaled(0.0)
+
+    def test_events_of_node(self):
+        srcs, dsts, times = simple_stream().events_of(2)
+        assert times.tolist() == [1.0, 2.0, 3.5]
+
+    def test_neighbors_in_window(self):
+        others, times = simple_stream().neighbors_in_window(2, 2.0, 1.0)
+        # Events incident to node 2 within |t - 2.0| <= 1.0: (2->3)@1.0, (1->2)@2.0.
+        assert sorted(others.tolist()) == [1, 3]
+
+    def test_neighbors_in_window_negative_width_rejected(self):
+        with pytest.raises(GraphFormatError):
+            simple_stream().neighbors_in_window(0, 0.0, -1.0)
+
+    def test_merge(self):
+        a = EventStream(3, [0], [1], [0.0])
+        b = EventStream(3, [1], [2], [1.0])
+        m = merge_streams(a, b)
+        assert m.num_events == 2
+        assert m.times.tolist() == [0.0, 1.0]
+
+    def test_merge_universe_mismatch_rejected(self):
+        with pytest.raises(GraphFormatError):
+            merge_streams(EventStream(3, [], [], []), EventStream(4, [], [], []))
+
+
+class TestConversions:
+    def test_to_temporal_graph_bins(self):
+        s = simple_stream()
+        g = s.to_temporal_graph(4)
+        assert isinstance(g, TemporalGraph)
+        assert g.num_timestamps == 4
+        assert g.num_edges == s.num_events
+
+    def test_to_temporal_graph_empty(self):
+        g = EventStream(3, [], [], []).to_temporal_graph(5)
+        assert g.num_edges == 0
+        assert g.num_timestamps == 5
+
+    def test_from_temporal_graph_start_spread_deterministic(self):
+        g = TemporalGraph(3, [0, 1, 2], [1, 2, 0], [0, 1, 2])
+        s = from_temporal_graph(g, bin_width=1.0, spread="start")
+        assert s.times.tolist() == [0.0, 1.0, 2.0]
+
+    def test_from_temporal_graph_uniform_stays_in_bin(self):
+        g = TemporalGraph(3, [0, 1, 2], [1, 2, 0], [0, 1, 2])
+        s = from_temporal_graph(g, bin_width=2.0, spread="uniform", seed=7)
+        bins = np.floor(s.times / 2.0).astype(int)
+        # Each event's continuous time must land in its own bin span.
+        order = np.argsort(g.t, kind="stable")
+        assert bins.tolist() == g.t[order].tolist()
+
+    def test_from_temporal_graph_rejects_bad_spread(self):
+        g = TemporalGraph(2, [0], [1], [0])
+        with pytest.raises(GraphFormatError):
+            from_temporal_graph(g, spread="center")
+
+    def test_from_temporal_graph_rejects_bad_width(self):
+        g = TemporalGraph(2, [0], [1], [0])
+        with pytest.raises(GraphFormatError):
+            from_temporal_graph(g, bin_width=0.0)
+
+    def test_round_trip_start_spread(self):
+        g = TemporalGraph(5, [0, 1, 2, 3], [1, 2, 3, 4], [0, 1, 1, 3], num_timestamps=4)
+        s = from_temporal_graph(g, spread="start")
+        back = s.to_temporal_graph(4)
+        # Same multiset of (src, dst, t) triples.
+        assert back == g
+
+
+class TestStatistics:
+    def test_global_inter_event_times(self):
+        gaps = inter_event_times(simple_stream(), per="global")
+        assert gaps.tolist() == [0.5, 1.0, 1.5]
+
+    def test_node_inter_event_times(self):
+        s = EventStream(3, [0, 0, 1], [1, 1, 2], [0.0, 2.0, 5.0])
+        gaps = inter_event_times(s, per="node")
+        # Node 0: gap 2.0; node 1: gaps 2.0 and 3.0; node 2: none.
+        assert sorted(gaps.tolist()) == [2.0, 2.0, 3.0]
+
+    def test_pair_inter_event_times(self):
+        s = EventStream(3, [0, 0, 1], [1, 1, 2], [0.0, 2.0, 5.0])
+        gaps = inter_event_times(s, per="pair")
+        assert gaps.tolist() == [2.0]
+
+    def test_inter_event_times_too_few_events(self):
+        s = EventStream(2, [0], [1], [1.0])
+        assert inter_event_times(s, per="global").size == 0
+        assert inter_event_times(s, per="node").size == 0
+        assert inter_event_times(s, per="pair").size == 0
+
+    def test_inter_event_times_bad_per(self):
+        with pytest.raises(GraphFormatError):
+            inter_event_times(simple_stream(), per="edge")
+
+    def test_burstiness_regular_is_minus_one(self):
+        assert burstiness([1.0, 1.0, 1.0, 1.0]) == pytest.approx(-1.0)
+
+    def test_burstiness_degenerate_returns_zero(self):
+        assert burstiness([]) == 0.0
+        assert burstiness([1.0]) == 0.0
+        assert burstiness([0.0, 0.0]) == 0.0
+
+    def test_burstiness_bursty_positive(self):
+        gaps = [0.01] * 50 + [100.0]
+        assert burstiness(gaps) > 0.5
+
+    def test_memory_coefficient_alternating_negative(self):
+        gaps = [1.0, 10.0] * 20
+        assert memory_coefficient(gaps) < -0.9
+
+    def test_memory_coefficient_trending_positive(self):
+        gaps = np.linspace(1.0, 10.0, 50)
+        assert memory_coefficient(gaps) > 0.9
+
+    def test_memory_coefficient_degenerate_returns_zero(self):
+        assert memory_coefficient([1.0, 2.0]) == 0.0
+        assert memory_coefficient([3.0, 3.0, 3.0]) == 0.0
+
+    def test_event_rate_series_counts(self):
+        s = simple_stream()
+        rates = event_rate_series(s, 3)
+        assert rates.sum() == s.num_events
+        assert rates.size == 3
+
+    def test_event_rate_series_empty_stream(self):
+        rates = event_rate_series(EventStream(2, [], [], []), 4)
+        assert rates.tolist() == [0, 0, 0, 0]
+
+    def test_event_rate_series_bad_bins(self):
+        with pytest.raises(GraphFormatError):
+            event_rate_series(simple_stream(), 0)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        s = simple_stream()
+        path = tmp_path / "events.txt"
+        save_event_stream(s, path)
+        loaded = load_event_stream(path, num_nodes=4)
+        assert loaded == s
+
+    def test_load_infers_num_nodes(self, tmp_path):
+        path = tmp_path / "events.txt"
+        path.write_text("0 7 1.5\n7 3 2.5\n")
+        s = load_event_stream(path)
+        assert s.num_nodes == 8
+
+    def test_load_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError):
+            load_event_stream(path)
+
+    def test_load_rejects_non_numeric(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b 1.0\n")
+        with pytest.raises(GraphFormatError):
+            load_event_stream(path)
+
+    def test_load_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only a comment\n")
+        with pytest.raises(GraphFormatError):
+            load_event_stream(path)
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+@st.composite
+def event_streams(draw, max_nodes=8, max_events=40):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_events))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    times = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False),
+            min_size=m,
+            max_size=m,
+        )
+    )
+    return EventStream(n, src, dst, times)
+
+
+class TestProperties:
+    @given(event_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_times_always_sorted(self, stream):
+        assert np.all(np.diff(stream.times) >= 0)
+
+    @given(event_streams(), st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_binning_preserves_event_count(self, stream, num_bins):
+        g = stream.to_temporal_graph(num_bins)
+        assert g.num_edges == stream.num_events
+        assert g.num_timestamps == num_bins
+
+    @given(event_streams(), st.integers(1, 10))
+    @settings(max_examples=60, deadline=None)
+    def test_binning_is_monotone_in_time(self, stream, num_bins):
+        if stream.num_events < 2:
+            return
+        g = stream.to_temporal_graph(num_bins)
+        # Later continuous times never land in earlier bins (stream is sorted,
+        # TemporalGraph keeps input edge order).
+        assert np.all(np.diff(g.t) >= 0)
+
+    @given(event_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_window_full_span_is_identity_minus_last(self, stream):
+        lo, hi = stream.time_span
+        w = stream.window(lo, hi + 1.0)
+        assert w.num_events == stream.num_events
+
+    @given(event_streams(), st.floats(-100.0, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_shift_preserves_gaps(self, stream, offset):
+        before = inter_event_times(stream)
+        after = inter_event_times(stream.shifted(offset))
+        assert np.allclose(before, after)
+
+    @given(event_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_with_empty_is_identity(self, stream):
+        empty = EventStream(stream.num_nodes, [], [], [])
+        assert merge_streams(stream, empty) == stream
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=2, max_size=50))
+    @settings(max_examples=80, deadline=None)
+    def test_burstiness_bounded(self, gaps):
+        b = burstiness(gaps)
+        assert -1.0 <= b <= 1.0
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=3, max_size=50))
+    @settings(max_examples=80, deadline=None)
+    def test_memory_coefficient_bounded(self, gaps):
+        m = memory_coefficient(gaps)
+        assert -1.0 - 1e-9 <= m <= 1.0 + 1e-9

@@ -1,0 +1,84 @@
+"""Tests for temporal neighbourhood queries (Definition 3)."""
+
+import numpy as np
+
+from repro.graph import (
+    TemporalGraph,
+    first_order_neighbors,
+    temporal_degree,
+    temporal_neighborhood,
+)
+
+
+def chain_graph():
+    # 0 -1@0- 1 -2@1- 2 -3@2- 3, plus 0->3 at t=5
+    return TemporalGraph(
+        4, [0, 1, 2, 0], [1, 2, 3, 3], [0, 1, 2, 5], num_timestamps=6
+    )
+
+
+class TestFirstOrder:
+    def test_respects_time_window(self):
+        g = chain_graph()
+        neigh, times = first_order_neighbors(g, 0, 0, time_window=1)
+        assert set(neigh.tolist()) == {1}
+        neigh, _ = first_order_neighbors(g, 0, 0, time_window=5)
+        assert set(neigh.tolist()) == {1, 3}
+
+    def test_window_zero_exact_timestamp(self):
+        g = chain_graph()
+        neigh, times = first_order_neighbors(g, 1, 1, time_window=0)
+        assert set(zip(neigh.tolist(), times.tolist())) == {(2, 1)}
+
+    def test_counts_multi_edges(self):
+        g = TemporalGraph(2, [0, 0], [1, 1], [0, 0])
+        neigh, _ = first_order_neighbors(g, 0, 0, time_window=0)
+        assert neigh.size == 2
+
+    def test_isolated_node(self):
+        g = TemporalGraph(3, [0], [1], [0])
+        neigh, _ = first_order_neighbors(g, 2, 0, time_window=10)
+        assert neigh.size == 0
+
+    def test_direction_agnostic(self):
+        g = TemporalGraph(2, [0], [1], [0])
+        neigh_src, _ = first_order_neighbors(g, 0, 0, 0)
+        neigh_dst, _ = first_order_neighbors(g, 1, 0, 0)
+        assert neigh_src.tolist() == [1]
+        assert neigh_dst.tolist() == [0]
+
+
+class TestTemporalDegree:
+    def test_matches_first_order_count(self):
+        g = chain_graph()
+        assert temporal_degree(g, 1, 1, time_window=1) == 2  # edges 0-1@0 and 1-2@1
+
+    def test_degree_weighted_by_window(self):
+        g = chain_graph()
+        assert temporal_degree(g, 0, 0, time_window=0) == 1
+        assert temporal_degree(g, 0, 0, time_window=5) == 2
+
+
+class TestBFSNeighborhood:
+    def test_hop_limit(self):
+        g = chain_graph()
+        one_hop = temporal_neighborhood(g, 0, 0, max_hops=1, time_window=5)
+        assert (1, 0) in one_hop
+        assert all(node != 2 for node, _ in one_hop)
+        two_hop = temporal_neighborhood(g, 0, 0, max_hops=2, time_window=5)
+        assert any(node == 2 for node, _ in two_hop)
+
+    def test_window_enforced_globally(self):
+        g = chain_graph()
+        hood = temporal_neighborhood(g, 0, 0, max_hops=3, time_window=1)
+        # edge 2-3@2 is outside |t - 0| <= 1, so (3, 2) must not appear.
+        assert (3, 2) not in hood
+
+    def test_excludes_center(self):
+        g = chain_graph()
+        hood = temporal_neighborhood(g, 0, 0, max_hops=2, time_window=5)
+        assert (0, 0) not in hood
+
+    def test_empty_for_isolated(self):
+        g = TemporalGraph(3, [0], [1], [0])
+        assert temporal_neighborhood(g, 2, 0, max_hops=2, time_window=5) == set()

@@ -1,0 +1,95 @@
+"""Tests for Snapshot and cumulative snapshot construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import Snapshot, TemporalGraph, cumulative_snapshots, snapshot_at
+
+
+def triangle_snapshot():
+    return Snapshot(4, np.array([0, 1, 2]), np.array([1, 2, 0]))
+
+
+class TestSnapshot:
+    def test_counts(self):
+        s = triangle_snapshot()
+        assert s.num_nodes == 4
+        assert s.num_edges == 3
+
+    def test_mismatched_arrays(self):
+        with pytest.raises(GraphFormatError):
+            Snapshot(3, np.array([0]), np.array([1, 2]))
+
+    def test_adjacency_binary_after_dedup(self):
+        s = Snapshot(3, np.array([0, 0, 0]), np.array([1, 1, 1]))
+        adj = s.adjacency()
+        assert adj[0, 1] == 1.0
+        assert adj.nnz == 1
+
+    def test_undirected_adjacency_symmetric(self):
+        s = triangle_snapshot()
+        sym = s.undirected_adjacency()
+        assert (sym != sym.T).nnz == 0
+
+    def test_undirected_drops_self_loops(self):
+        s = Snapshot(2, np.array([0, 0]), np.array([0, 1]))
+        assert s.undirected_adjacency().diagonal().sum() == 0
+
+    def test_degrees_of_triangle(self):
+        degrees = triangle_snapshot().degrees()
+        assert np.allclose(degrees[:3], 2)
+        assert degrees[3] == 0
+
+    def test_active_nodes(self):
+        assert triangle_snapshot().active_nodes().tolist() == [0, 1, 2]
+
+    def test_active_nodes_empty(self):
+        s = Snapshot(3, np.array([], dtype=int), np.array([], dtype=int))
+        assert s.active_nodes().size == 0
+
+    def test_to_networkx(self):
+        g = triangle_snapshot().to_networkx()
+        assert g.number_of_edges() == 3
+        assert g.is_directed()
+
+    def test_to_networkx_undirected(self):
+        g = triangle_snapshot().to_networkx(directed=False)
+        assert not g.is_directed()
+
+
+class TestCumulativeSnapshots:
+    def graph(self):
+        return TemporalGraph(3, [0, 1, 2], [1, 2, 0], [0, 1, 2])
+
+    def test_length_matches_timestamps(self):
+        assert len(cumulative_snapshots(self.graph())) == 3
+
+    def test_monotone_edge_counts(self):
+        snaps = cumulative_snapshots(self.graph())
+        counts = [s.num_edges for s in snaps]
+        assert counts == [1, 2, 3]
+        assert counts == sorted(counts)
+
+    def test_last_snapshot_has_all_edges(self):
+        g = self.graph()
+        assert cumulative_snapshots(g)[-1].num_edges == g.num_edges
+
+    def test_snapshot_at_matches_list(self):
+        g = self.graph()
+        listed = cumulative_snapshots(g)[1]
+        single = snapshot_at(g, 1)
+        assert single.num_edges == listed.num_edges
+
+    def test_snapshot_at_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            snapshot_at(self.graph(), 3)
+        with pytest.raises(GraphFormatError):
+            snapshot_at(self.graph(), -1)
+
+    def test_empty_timestamps_produce_empty_prefix(self):
+        g = TemporalGraph(3, [0], [1], [2], num_timestamps=3)
+        snaps = cumulative_snapshots(g)
+        assert snaps[0].num_edges == 0
+        assert snaps[1].num_edges == 0
+        assert snaps[2].num_edges == 1

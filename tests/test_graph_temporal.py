@@ -1,0 +1,168 @@
+"""Tests for the TemporalGraph container (Definitions 1-2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import TemporalGraph, merge
+
+
+def small_graph():
+    #  edges: 0->1@0, 1->2@0, 2->0@1, 0->2@2, 1->0@2
+    return TemporalGraph(3, [0, 1, 2, 0, 1], [1, 2, 0, 2, 0], [0, 0, 1, 2, 2])
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        g = small_graph()
+        assert g.num_nodes == 3
+        assert g.num_edges == 5
+        assert g.num_timestamps == 3
+
+    def test_infers_num_timestamps(self):
+        g = TemporalGraph(2, [0], [1], [7])
+        assert g.num_timestamps == 8
+
+    def test_empty_graph(self):
+        g = TemporalGraph(3, [], [], [], num_timestamps=4)
+        assert g.num_edges == 0
+        assert g.num_temporal_nodes == 0
+
+    def test_mismatched_arrays_raise(self):
+        with pytest.raises(GraphFormatError):
+            TemporalGraph(3, [0, 1], [1], [0, 0])
+
+    def test_out_of_range_node_raises(self):
+        with pytest.raises(GraphFormatError):
+            TemporalGraph(2, [0], [5], [0])
+
+    def test_negative_timestamp_raises(self):
+        with pytest.raises(GraphFormatError):
+            TemporalGraph(2, [0], [1], [-1])
+
+    def test_timestamp_beyond_t_raises(self):
+        with pytest.raises(GraphFormatError):
+            TemporalGraph(2, [0], [1], [5], num_timestamps=3)
+
+    def test_nonpositive_nodes_raise(self):
+        with pytest.raises(GraphFormatError):
+            TemporalGraph(0, [], [], [])
+
+    def test_equality(self):
+        assert small_graph() == small_graph()
+        other = TemporalGraph(3, [0], [1], [0])
+        assert small_graph() != other
+
+    def test_equality_order_independent(self):
+        a = TemporalGraph(3, [0, 1], [1, 2], [0, 1])
+        b = TemporalGraph(3, [1, 0], [2, 1], [1, 0])
+        assert a == b
+
+
+class TestSnapshots:
+    def test_edges_at(self):
+        g = small_graph()
+        src, dst = g.edges_at(0)
+        assert set(zip(src.tolist(), dst.tolist())) == {(0, 1), (1, 2)}
+
+    def test_edges_until_accumulates(self):
+        g = small_graph()
+        src, _ = g.edges_until(1)
+        assert src.size == 3
+
+    def test_snapshots_iterator_covers_all_edges(self):
+        g = small_graph()
+        total = sum(src.size for _, src, _ in g.snapshots())
+        assert total == g.num_edges
+
+    def test_snapshots_yield_every_timestamp(self):
+        g = small_graph()
+        stamps = [t for t, _, _ in g.snapshots()]
+        assert stamps == [0, 1, 2]
+
+
+class TestDegrees:
+    def test_temporal_degrees(self):
+        g = small_graph()
+        deg = g.temporal_degrees()
+        assert deg.shape == (3, 3)
+        # node 0 at t=0: one out-edge -> degree 1
+        assert deg[0, 0] == 1
+        # node 2 at t=1: out-edge 2->0 -> 1
+        assert deg[2, 1] == 1
+        assert deg.sum() == 2 * g.num_edges
+
+    def test_static_degrees(self):
+        g = small_graph()
+        deg = g.static_degrees()
+        assert deg.sum() == 2 * g.num_edges
+
+    def test_num_temporal_nodes(self):
+        g = small_graph()
+        # occurrences: (0,0),(1,0),(2,0),(2,1),(0,1),(0,2),(2,2),(1,2)
+        assert g.num_temporal_nodes == 8
+
+
+class TestIncidence:
+    def test_events_sorted_by_time(self):
+        g = small_graph()
+        _, times = g.incident_events(0)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_events_count_both_directions(self):
+        g = small_graph()
+        others, _ = g.incident_events(0)
+        assert others.size == 4  # 0->1@0, 2->0@1, 0->2@2, 1->0@2
+
+    def test_isolated_node(self):
+        g = TemporalGraph(4, [0], [1], [0])
+        others, times = g.incident_events(3)
+        assert others.size == 0
+
+
+class TestTransformations:
+    def test_copy_is_deep(self):
+        g = small_graph()
+        clone = g.copy()
+        clone.src[0] = 2
+        assert g.src[0] == 0
+
+    def test_restricted_to(self):
+        g = small_graph()
+        sub = g.restricted_to(1)
+        assert sub.num_edges == 3
+        assert sub.num_timestamps == 2
+
+    def test_deduplicated(self):
+        g = TemporalGraph(2, [0, 0, 0], [1, 1, 1], [0, 0, 1])
+        assert g.deduplicated().num_edges == 2
+
+    def test_without_self_loops(self):
+        g = TemporalGraph(2, [0, 1], [0, 0], [0, 0])
+        assert g.without_self_loops().num_edges == 1
+
+    def test_temporal_adjacency_dense(self):
+        g = small_graph()
+        adj = g.temporal_adjacency()
+        assert adj.shape == (3, 3, 3)
+        assert adj[0, 0, 1] == 1
+        assert adj[0, 1, 0] == 0  # directed
+        assert adj.sum() == g.num_edges
+
+
+class TestMerge:
+    def test_merge_unions_edges(self):
+        a = TemporalGraph(3, [0], [1], [0])
+        b = TemporalGraph(3, [1], [2], [1])
+        merged = merge([a, b])
+        assert merged.num_edges == 2
+        assert merged.num_timestamps == 2
+
+    def test_merge_empty_list_raises(self):
+        with pytest.raises(GraphFormatError):
+            merge([])
+
+    def test_merge_takes_max_universe(self):
+        a = TemporalGraph(2, [0], [1], [0])
+        b = TemporalGraph(5, [4], [0], [0])
+        assert merge([a, b]).num_nodes == 5

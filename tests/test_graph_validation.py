@@ -1,0 +1,89 @@
+"""Tests for the generated-graph validation report."""
+
+import numpy as np
+import pytest
+
+from repro.graph import TemporalGraph, validate_generated
+
+
+def observed():
+    return TemporalGraph(5, [0, 1, 2, 3], [1, 2, 3, 4], [0, 0, 1, 1], num_timestamps=2)
+
+
+class TestContract:
+    def test_valid_copy(self):
+        g = observed()
+        report = validate_generated(g, g.copy())
+        assert report.ok
+        assert not report.errors
+        assert "OK" in str(report)
+
+    def test_node_universe_mismatch(self):
+        g = observed()
+        bad = TemporalGraph(9, g.src, g.dst, g.t, num_timestamps=2)
+        report = validate_generated(g, bad)
+        assert not report.ok
+        assert any("node universe" in e for e in report.errors)
+
+    def test_timestamp_mismatch(self):
+        g = observed()
+        bad = TemporalGraph(5, g.src, g.dst, g.t, num_timestamps=5)
+        report = validate_generated(g, bad)
+        assert not report.ok
+
+    def test_edge_budget_exact(self):
+        g = observed()
+        bad = TemporalGraph(5, [0], [1], [0], num_timestamps=2)
+        report = validate_generated(g, bad)
+        assert any("edge budget" in e for e in report.errors)
+
+    def test_edge_budget_tolerance(self):
+        g = observed()
+        close = TemporalGraph(5, [0, 1, 2], [1, 2, 3], [0, 0, 1], num_timestamps=2)
+        strict = validate_generated(g, close)
+        lenient = validate_generated(g, close, edge_budget_tolerance=0.5)
+        assert not strict.ok
+        assert lenient.ok
+
+    def test_empty_generated(self):
+        g = observed()
+        empty = TemporalGraph(5, [], [], [], num_timestamps=2)
+        report = validate_generated(g, empty)
+        assert not report.ok
+
+    def test_self_loop_warning(self):
+        g = observed()
+        loopy = TemporalGraph(5, [0, 1, 2, 3], [0, 2, 3, 4], [0, 0, 1, 1],
+                              num_timestamps=2)
+        report = validate_generated(g, loopy)
+        assert report.ok  # warning, not error
+        assert any("self-loop" in w for w in report.warnings)
+
+    def test_empty_timestamp_warning(self):
+        g = observed()
+        skewed = TemporalGraph(5, [0, 1, 2, 3], [1, 2, 3, 4], [0, 0, 0, 0],
+                               num_timestamps=2)
+        report = validate_generated(g, skewed)
+        assert report.ok
+        assert any("empty timestamp" in w for w in report.warnings)
+
+
+class TestWithGenerators:
+    def test_all_baselines_pass_validation(self):
+        from repro.baselines import BASELINES
+        from repro.datasets import communication_network
+
+        g = communication_network(15, 80, 4, seed=21)
+        for name, factory in BASELINES.items():
+            generated = factory().fit(g).generate(seed=0)
+            report = validate_generated(g, generated)
+            assert report.ok, f"{name}: {report}"
+
+    def test_tgae_passes_validation(self):
+        from repro.core import TGAEGenerator, fast_config
+        from repro.datasets import communication_network
+
+        g = communication_network(15, 80, 4, seed=22)
+        generated = TGAEGenerator(fast_config(epochs=2)).fit(g).generate(seed=0)
+        report = validate_generated(g, generated)
+        assert report.ok, str(report)

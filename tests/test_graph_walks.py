@@ -1,0 +1,115 @@
+"""Tests for temporal random walks and walk-to-graph assembly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, GenerationError
+from repro.graph import (
+    TemporalGraph,
+    sample_temporal_walk,
+    sample_walk_corpus,
+    walks_to_graph,
+)
+
+
+def line_graph():
+    # 0->1@0, 1->2@1, 2->3@2, 3->4@3
+    return TemporalGraph(5, [0, 1, 2, 3], [1, 2, 3, 4], [0, 1, 2, 3])
+
+
+class TestSingleWalk:
+    def test_time_respecting_moves_forward(self):
+        g = line_graph()
+        nodes, times = sample_temporal_walk(
+            g, 0, 0, length=5, time_window=2, rng=np.random.default_rng(0),
+            time_respecting=True,
+        )
+        assert np.all(np.diff(times) >= 0)
+
+    def test_walk_follows_edges(self):
+        g = line_graph()
+        nodes, _ = sample_temporal_walk(
+            g, 0, 0, length=5, time_window=1, rng=np.random.default_rng(0)
+        )
+        incident_pairs = {(0, 1), (1, 2), (2, 3), (3, 4)}
+        for i in range(nodes.size - 1):
+            pair = (min(nodes[i], nodes[i + 1]), max(nodes[i], nodes[i + 1]))
+            assert pair in incident_pairs
+
+    def test_dead_end_truncates(self):
+        g = TemporalGraph(3, [0], [1], [0], num_timestamps=5)
+        nodes, _ = sample_temporal_walk(
+            g, 1, 4, length=5, time_window=0, rng=np.random.default_rng(0)
+        )
+        assert nodes.size == 1
+
+    def test_window_limits_hops(self):
+        g = line_graph()
+        # From (0,0) with window 0 only the t=0 edge is reachable, so the
+        # walk can only bounce on the 0-1 edge and never leave timestamp 0.
+        nodes, times = sample_temporal_walk(
+            g, 0, 0, length=5, time_window=0, rng=np.random.default_rng(0)
+        )
+        assert set(nodes.tolist()) <= {0, 1}
+        assert np.all(times == 0)
+
+    def test_non_time_respecting_can_go_back(self):
+        g = line_graph()
+        seen_backward = False
+        for seed in range(30):
+            _, times = sample_temporal_walk(
+                g, 2, 2, length=4, time_window=3,
+                rng=np.random.default_rng(seed), time_respecting=False,
+            )
+            if times.size >= 2 and np.any(np.diff(times) < 0):
+                seen_backward = True
+                break
+        assert seen_backward
+
+    def test_invalid_length(self):
+        with pytest.raises(ConfigError):
+            sample_temporal_walk(line_graph(), 0, 0, 0, 1, np.random.default_rng(0))
+
+
+class TestCorpus:
+    def test_corpus_size(self):
+        corpus = sample_walk_corpus(
+            line_graph(), 20, 4, 2, np.random.default_rng(0)
+        )
+        assert len(corpus) == 20
+
+    def test_all_walks_nontrivial(self):
+        corpus = sample_walk_corpus(line_graph(), 10, 4, 2, np.random.default_rng(1))
+        assert all(nodes.size >= 2 for nodes, _ in corpus)
+
+    def test_empty_graph_raises(self):
+        g = TemporalGraph(3, [], [], [], num_timestamps=2)
+        with pytest.raises(GenerationError):
+            sample_walk_corpus(g, 5, 4, 1, np.random.default_rng(0))
+
+
+class TestWalksToGraph:
+    def test_edge_count_matches_target(self):
+        corpus = sample_walk_corpus(line_graph(), 30, 5, 2, np.random.default_rng(2))
+        g = walks_to_graph(corpus, 5, 4, target_edges=17, rng=np.random.default_rng(0))
+        assert g.num_edges == 17
+
+    def test_upsamples_when_short(self):
+        walks = [(np.array([0, 1]), np.array([0, 0]))]
+        g = walks_to_graph(walks, 3, 2, target_edges=5, rng=np.random.default_rng(0))
+        assert g.num_edges == 5
+
+    def test_timestamps_in_range(self):
+        corpus = sample_walk_corpus(line_graph(), 10, 5, 2, np.random.default_rng(3))
+        g = walks_to_graph(corpus, 5, 4)
+        assert g.t.min() >= 0
+        assert g.t.max() < 4
+
+    def test_empty_walks_raise(self):
+        with pytest.raises(GenerationError):
+            walks_to_graph([(np.array([0]), np.array([0]))], 3, 2)
+
+    def test_edge_timestamp_is_later_endpoint(self):
+        walks = [(np.array([0, 1]), np.array([1, 3]))]
+        g = walks_to_graph(walks, 3, 5)
+        assert g.t.tolist() == [3]

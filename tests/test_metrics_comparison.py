@@ -1,0 +1,124 @@
+"""Tests for the Eq. 10 comparison scores (f_avg / f_med)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import TemporalGraph
+from repro.metrics import (
+    compare_graphs,
+    f_avg,
+    f_med,
+    mean_degree,
+    relative_error_series,
+    statistic_time_series,
+    triangle_count,
+    wedge_count,
+)
+
+
+def base_graph():
+    rng = np.random.default_rng(0)
+    m = 60
+    return TemporalGraph(
+        20,
+        rng.integers(0, 20, m),
+        rng.integers(0, 20, m),
+        np.sort(rng.integers(0, 5, m)),
+        num_timestamps=5,
+    )
+
+
+class TestIdentity:
+    def test_identical_graphs_score_zero(self):
+        g = base_graph()
+        assert f_avg(g, g.copy(), mean_degree) == 0.0
+        assert f_med(g, g.copy(), wedge_count) == 0.0
+
+    def test_compare_graphs_identity(self):
+        g = base_graph()
+        scores = compare_graphs(g, g.copy())
+        assert all(v == 0.0 for v in scores.values())
+
+
+class TestSensitivity:
+    def test_perturbation_increases_error(self):
+        g = base_graph()
+        rng = np.random.default_rng(1)
+        perturbed = TemporalGraph(
+            20,
+            rng.integers(0, 20, g.num_edges),
+            rng.integers(0, 20, g.num_edges),
+            g.t.copy(),
+            num_timestamps=5,
+        )
+        assert f_avg(g, perturbed, wedge_count) > 0.0
+
+    def test_error_series_length_bounded_by_t(self):
+        g = base_graph()
+        series = relative_error_series(g, g.copy(), triangle_count)
+        assert series.size <= g.num_timestamps
+
+    def test_zero_reference_timestamps_skipped(self):
+        # Observed graph with triangle only from t=2; early snapshots have
+        # triangle_count 0 and must be skipped, not divided by.
+        obs = TemporalGraph(3, [0, 1, 2], [1, 2, 0], [2, 2, 2], num_timestamps=4)
+        gen = TemporalGraph(3, [0, 1, 0], [1, 2, 2], [2, 2, 2], num_timestamps=4)
+        series = relative_error_series(obs, gen, triangle_count)
+        assert np.all(np.isfinite(series))
+        assert series.size == 2  # t = 2, 3 only
+
+
+class TestValidation:
+    def test_timestamp_mismatch_raises(self):
+        g = base_graph()
+        other = TemporalGraph(20, [0], [1], [0], num_timestamps=3)
+        with pytest.raises(GraphFormatError):
+            f_avg(g, other, mean_degree)
+
+    def test_unknown_statistic_raises(self):
+        g = base_graph()
+        with pytest.raises(KeyError):
+            compare_graphs(g, g.copy(), statistics=["nope"])
+
+    def test_bad_reduction_raises(self):
+        g = base_graph()
+        with pytest.raises(ValueError):
+            compare_graphs(g, g.copy(), reduction="max")
+
+
+class TestReductions:
+    def test_median_leq_mean_for_skewed_errors(self):
+        """Outlier timestamps inflate the mean more than the median."""
+        g = base_graph()
+        rng = np.random.default_rng(2)
+        noisy = TemporalGraph(
+            20,
+            rng.integers(0, 20, g.num_edges),
+            rng.integers(0, 20, g.num_edges),
+            g.t.copy(),
+            num_timestamps=5,
+        )
+        med = compare_graphs(g, noisy, reduction="median")
+        avg = compare_graphs(g, noisy, reduction="mean")
+        # Not a theorem for every metric, but holds for the aggregate here.
+        assert sum(med.values()) <= sum(avg.values()) * 1.5
+
+
+class TestTimeSeries:
+    def test_series_shapes(self):
+        g = base_graph()
+        series = statistic_time_series(g)
+        assert set(series) == set(compare_graphs(g, g.copy()))
+        for arr in series.values():
+            assert arr.shape == (g.num_timestamps,)
+
+    def test_cumulative_monotone_counts(self):
+        g = base_graph()
+        series = statistic_time_series(g, ["wedge_count"])["wedge_count"]
+        assert np.all(np.diff(series) >= 0)
+
+    def test_subset_selection(self):
+        g = base_graph()
+        series = statistic_time_series(g, ["ple"])
+        assert list(series) == ["ple"]

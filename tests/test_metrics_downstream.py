@@ -1,0 +1,174 @@
+"""Tests for the downstream-utility (train-on-synthetic) evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph import TemporalGraph
+from repro.metrics import (
+    downstream_link_prediction_auc,
+    roc_auc,
+    score_pairs,
+    utility_report,
+)
+from repro.metrics.downstream import _sample_negatives, _training_adjacency
+
+
+def triadic_graph():
+    """History where common-neighbor pairs close at the last timestamp.
+
+    t=0: wedges 0-1-2, 3-4-5 and a hub 6 linked to 0 and 3.
+    t=1: closures (0,2) and (3,5), plus a fresh random edge.
+    """
+    src = [0, 1, 3, 4, 6, 6, 0, 3, 7]
+    dst = [1, 2, 4, 5, 0, 3, 2, 5, 8]
+    t = [0, 0, 0, 0, 0, 0, 1, 1, 1]
+    return TemporalGraph(9, src, dst, t, num_timestamps=2)
+
+
+class TestScorePairs:
+    def test_common_neighbors_counts(self):
+        adj = _training_adjacency(triadic_graph(), holdout_t=1)
+        pairs = np.array([[0, 2], [7, 8]])
+        scores = score_pairs(adj, pairs, scorer="common_neighbors")
+        assert scores[0] == 1.0  # share node 1
+        assert scores[1] == 0.0
+
+    def test_adamic_adar_positive_for_shared(self):
+        adj = _training_adjacency(triadic_graph(), holdout_t=1)
+        scores = score_pairs(adj, np.array([[0, 2]]), scorer="adamic_adar")
+        assert scores[0] > 0.0
+
+    def test_preferential_attachment_degree_product(self):
+        adj = _training_adjacency(triadic_graph(), holdout_t=1)
+        degrees = np.asarray(adj.sum(axis=1)).reshape(-1)
+        scores = score_pairs(adj, np.array([[0, 3]]), scorer="preferential_attachment")
+        assert scores[0] == degrees[0] * degrees[3]
+
+    def test_unknown_scorer_rejected(self):
+        adj = _training_adjacency(triadic_graph(), holdout_t=1)
+        with pytest.raises(GraphFormatError):
+            score_pairs(adj, np.array([[0, 1]]), scorer="jaccard")
+
+    def test_bad_pairs_shape_rejected(self):
+        adj = _training_adjacency(triadic_graph(), holdout_t=1)
+        with pytest.raises(GraphFormatError):
+            score_pairs(adj, np.array([0, 1]))
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc([2.0, 3.0], [0.0, 1.0]) == 1.0
+
+    def test_perfectly_wrong(self):
+        assert roc_auc([0.0, 1.0], [2.0, 3.0]) == 0.0
+
+    def test_identical_scores_half(self):
+        assert roc_auc([1.0, 1.0], [1.0, 1.0]) == pytest.approx(0.5)
+
+    def test_empty_side_half(self):
+        assert roc_auc([], [1.0]) == 0.5
+        assert roc_auc([1.0], []) == 0.5
+
+    def test_known_mixed_case(self):
+        # pos = [3, 1], neg = [2]: one win, one loss -> 0.5.
+        assert roc_auc([3.0, 1.0], [2.0]) == pytest.approx(0.5)
+
+
+class TestLinkPrediction:
+    def test_oracle_beats_chance_on_triadic_history(self):
+        g = triadic_graph()
+        auc = downstream_link_prediction_auc(g, g, holdout_t=1, seed=0)
+        assert auc > 0.5
+
+    def test_shared_universe_required(self):
+        g = triadic_graph()
+        other = TemporalGraph(5, [0], [1], [0], num_timestamps=2)
+        with pytest.raises(GraphFormatError):
+            downstream_link_prediction_auc(other, g)
+
+    def test_holdout_bounds_checked(self):
+        g = triadic_graph()
+        with pytest.raises(GraphFormatError):
+            downstream_link_prediction_auc(g, g, holdout_t=0)
+        with pytest.raises(GraphFormatError):
+            downstream_link_prediction_auc(g, g, holdout_t=5)
+
+    def test_empty_holdout_returns_half(self):
+        g = TemporalGraph(4, [0, 1], [1, 2], [0, 0], num_timestamps=2)
+        assert downstream_link_prediction_auc(g, g, holdout_t=1) == 0.5
+
+    def test_deterministic_under_seed(self):
+        g = triadic_graph()
+        a = downstream_link_prediction_auc(g, g, holdout_t=1, seed=3)
+        b = downstream_link_prediction_auc(g, g, holdout_t=1, seed=3)
+        assert a == b
+
+    def test_good_synthetic_history_scores_well(self):
+        """A synthetic graph equal to the real history gives the oracle AUC."""
+        g = triadic_graph()
+        oracle = downstream_link_prediction_auc(g, g, holdout_t=1, seed=0)
+        synthetic = g.copy()
+        assert downstream_link_prediction_auc(synthetic, g, holdout_t=1, seed=0) == oracle
+
+    def test_useless_synthetic_history_scores_at_chance(self):
+        """A history with no edges before the holdout carries no signal."""
+        g = triadic_graph()
+        empty_history = TemporalGraph(9, [0], [1], [1], num_timestamps=2)
+        auc = downstream_link_prediction_auc(empty_history, g, holdout_t=1, seed=0)
+        assert auc == pytest.approx(0.5)
+
+
+class TestUtilityReport:
+    def test_report_structure(self):
+        g = triadic_graph()
+        report = utility_report(g, g.copy(), holdout_t=1)
+        assert set(report) == {
+            "common_neighbors",
+            "adamic_adar",
+            "preferential_attachment",
+        }
+        for row in report.values():
+            assert set(row) == {"real", "synthetic", "gap"}
+            assert row["gap"] == pytest.approx(row["real"] - row["synthetic"])
+
+    def test_identical_synthetic_zero_gap(self):
+        g = triadic_graph()
+        report = utility_report(g, g.copy(), holdout_t=1)
+        for row in report.values():
+            assert row["gap"] == pytest.approx(0.0)
+
+
+class TestNegativeSampling:
+    def test_negatives_avoid_forbidden(self):
+        rng = np.random.default_rng(0)
+        forbidden = {(0, 1), (1, 2)}
+        negatives = _sample_negatives(6, forbidden, 5, rng)
+        for u, v in negatives:
+            assert (int(u), int(v)) not in forbidden
+            assert u < v
+
+    def test_negatives_distinct(self):
+        rng = np.random.default_rng(1)
+        negatives = _sample_negatives(8, set(), 10, rng)
+        seen = {(int(u), int(v)) for u, v in negatives}
+        assert len(seen) == negatives.shape[0]
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=30),
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=30),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_auc_bounded_and_antisymmetric(self, pos, neg):
+        auc = roc_auc(pos, neg)
+        assert 0.0 <= auc <= 1.0
+        assert roc_auc(neg, pos) == pytest.approx(1.0 - auc)
+
+    @given(st.lists(st.floats(0, 100, allow_nan=False), min_size=2, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_auc_self_comparison_half(self, scores):
+        assert roc_auc(scores, scores) == pytest.approx(0.5)

@@ -1,0 +1,102 @@
+"""Tests for total variation and the Gaussian-TV MMD (Eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.metrics import gaussian_tv_kernel, mmd_squared, motif_mmd, total_variation
+
+
+def dist(values):
+    arr = np.asarray(values, dtype=float)
+    return arr / arr.sum()
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        p = dist([1, 2, 3])
+        assert total_variation(p, p) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_symmetry(self):
+        p, q = dist([1, 2, 3]), dist([3, 1, 1])
+        assert total_variation(p, q) == total_variation(q, p)
+
+    def test_known_value(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.75, 0.25])
+        assert total_variation(p, q) == pytest.approx(0.25)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            total_variation(np.ones(2), np.ones(3))
+
+
+class TestKernel:
+    def test_self_kernel_is_one(self):
+        p = dist([1, 2, 3])
+        assert gaussian_tv_kernel(p, p) == 1.0
+
+    def test_bounded(self):
+        p, q = np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        k = gaussian_tv_kernel(p, q, sigma=0.5)
+        assert 0.0 < k < 1.0
+
+    def test_sigma_widens_kernel(self):
+        p, q = np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        assert gaussian_tv_kernel(p, q, sigma=2.0) > gaussian_tv_kernel(p, q, sigma=0.5)
+
+
+class TestMMD:
+    def test_identical_samples_zero(self):
+        samples = [dist([1, 2, 3]), dist([2, 2, 1])]
+        assert mmd_squared(samples, list(samples)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_sample_closed_form(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        expected = 2.0 - 2.0 * gaussian_tv_kernel(p, q)
+        assert motif_mmd(p, q) == pytest.approx(expected)
+
+    def test_symmetry(self):
+        p, q = dist([5, 1, 1]), dist([1, 1, 5])
+        assert motif_mmd(p, q) == pytest.approx(motif_mmd(q, p))
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            p = dist(rng.random(6) + 0.01)
+            q = dist(rng.random(6) + 0.01)
+            assert motif_mmd(p, q) >= 0.0
+
+    def test_monotone_in_divergence(self):
+        base = dist([10, 1, 1])
+        near = dist([9, 2, 1])
+        far = dist([1, 1, 10])
+        assert motif_mmd(base, near) < motif_mmd(base, far)
+
+    def test_empty_samples_raise(self):
+        with pytest.raises(ShapeError):
+            mmd_squared([], [np.ones(2)])
+
+
+@given(st.lists(st.floats(0.01, 10.0), min_size=2, max_size=8), st.integers(0, 10**6))
+@settings(max_examples=30, deadline=None)
+def test_mmd_self_zero_property(values, _seed):
+    p = dist(values)
+    assert motif_mmd(p, p) == pytest.approx(0.0, abs=1e-12)
+
+
+@given(
+    st.lists(st.floats(0.01, 10.0), min_size=3, max_size=3),
+    st.lists(st.floats(0.01, 10.0), min_size=3, max_size=3),
+)
+@settings(max_examples=30, deadline=None)
+def test_tv_triangle_inequality(a, b):
+    p, q = dist(a), dist(b)
+    r = dist(np.ones(3))
+    assert total_variation(p, q) <= total_variation(p, r) + total_variation(r, q) + 1e-12

@@ -1,0 +1,99 @@
+"""Tests for the temporal-motif significance profiles."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import citation_network
+from repro.errors import GraphFormatError
+from repro.graph import TemporalGraph, shuffle_timestamps
+from repro.metrics import motif_significance_profile, significance_similarity
+
+
+@pytest.fixture(scope="module")
+def structured_graph():
+    """Citation-style growth graph: temporally ordered triangles abound."""
+    return citation_network(40, 300, 8, seed=3)
+
+
+class TestProfile:
+    def test_shapes(self, structured_graph):
+        z, profile = motif_significance_profile(
+            structured_graph, delta=2, num_nulls=5, seed=0
+        )
+        assert z.shape == profile.shape
+        assert z.ndim == 1
+
+    def test_profile_unit_norm_or_zero(self, structured_graph):
+        _, profile = motif_significance_profile(
+            structured_graph, delta=2, num_nulls=5, seed=0
+        )
+        norm = np.linalg.norm(profile)
+        assert norm == pytest.approx(1.0, abs=1e-9) or norm == 0.0
+
+    def test_deterministic_under_seed(self, structured_graph):
+        a = motif_significance_profile(structured_graph, delta=2, num_nulls=5, seed=1)
+        b = motif_significance_profile(structured_graph, delta=2, num_nulls=5, seed=1)
+        assert np.array_equal(a[0], b[0])
+
+    def test_structured_graph_is_significant(self, structured_graph):
+        """A growth graph's temporal ordering departs from the shuffle null."""
+        z, _ = motif_significance_profile(
+            structured_graph, delta=2, num_nulls=10, seed=0
+        )
+        assert np.abs(z).max() > 2.0
+
+    def test_shuffled_graph_is_less_significant(self, structured_graph):
+        """A pre-shuffled graph sits inside its own null ensemble."""
+        z_obs, _ = motif_significance_profile(
+            structured_graph, delta=2, num_nulls=10, seed=0
+        )
+        shuffled = shuffle_timestamps(structured_graph, seed=99)
+        z_null, _ = motif_significance_profile(shuffled, delta=2, num_nulls=10, seed=0)
+        assert np.abs(z_null).max() < np.abs(z_obs).max()
+
+    def test_rewire_null_supported(self, structured_graph):
+        z, profile = motif_significance_profile(
+            structured_graph, delta=2, num_nulls=4, null="rewire", seed=0
+        )
+        assert z.shape == profile.shape
+
+    def test_unknown_null_rejected(self, structured_graph):
+        with pytest.raises(GraphFormatError):
+            motif_significance_profile(structured_graph, null="erdos")
+
+    def test_too_few_nulls_rejected(self, structured_graph):
+        with pytest.raises(GraphFormatError):
+            motif_significance_profile(structured_graph, num_nulls=1)
+
+    def test_tiny_graph_does_not_crash(self):
+        g = TemporalGraph(3, [0, 1], [1, 2], [0, 1], num_timestamps=2)
+        z, profile = motif_significance_profile(g, delta=2, num_nulls=3, seed=0)
+        assert np.all(np.isfinite(z))
+
+
+class TestSimilarity:
+    def test_self_similarity_one(self, structured_graph):
+        _, profile = motif_significance_profile(
+            structured_graph, delta=2, num_nulls=5, seed=0
+        )
+        if np.linalg.norm(profile) > 0:
+            assert significance_similarity(profile, profile) == pytest.approx(1.0)
+
+    def test_opposite_profiles_negative(self):
+        a = np.zeros(36)
+        a[0], a[5] = 1.0, -0.5
+        assert significance_similarity(a, -a) == pytest.approx(-1.0)
+
+    def test_zero_profile_similarity_zero(self):
+        assert significance_similarity(np.zeros(36), np.ones(36)) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(GraphFormatError):
+            significance_similarity(np.ones(36), np.ones(35))
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            a, b = rng.normal(size=36), rng.normal(size=36)
+            s = significance_similarity(a, b)
+            assert -1.0 - 1e-9 <= s <= 1.0 + 1e-9

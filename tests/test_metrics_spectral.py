@@ -1,0 +1,144 @@
+"""Tests for the spectral snapshot statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.snapshot import Snapshot
+from repro.metrics import (
+    adjacency_spectrum,
+    laplacian_spectrum,
+    spectral_distance,
+    spectral_gap,
+)
+
+
+def snapshot_from_edges(num_nodes, edges):
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    return Snapshot(num_nodes, src, dst)
+
+
+def complete_graph(n):
+    return snapshot_from_edges(n, [(i, j) for i in range(n) for j in range(n) if i != j])
+
+
+def two_triangles():
+    return snapshot_from_edges(
+        6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]
+    )
+
+
+class TestAdjacencySpectrum:
+    def test_complete_graph_known_spectrum(self):
+        # K_n has eigenvalues n-1 (once) and -1 (n-1 times).
+        spec = adjacency_spectrum(complete_graph(5), k=4)
+        assert spec[0] == pytest.approx(4.0)
+        assert np.allclose(spec[1:], -1.0)
+
+    def test_single_edge(self):
+        spec = adjacency_spectrum(snapshot_from_edges(2, [(0, 1)]), k=2)
+        assert spec[0] == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        assert adjacency_spectrum(snapshot_from_edges(3, []), k=2).size == 0
+
+    def test_descending_order(self):
+        spec = adjacency_spectrum(two_triangles(), k=5)
+        assert np.all(np.diff(spec) <= 1e-9)
+
+    def test_k_capped_by_size(self):
+        spec = adjacency_spectrum(snapshot_from_edges(3, [(0, 1), (1, 2)]), k=100)
+        assert spec.size <= 3
+
+
+class TestLaplacianSpectrum:
+    def test_spectrum_in_unit_interval(self):
+        spec = laplacian_spectrum(two_triangles(), k=6)
+        assert np.all(spec >= 0.0)
+        assert np.all(spec <= 2.0)
+
+    def test_zero_multiplicity_counts_components(self):
+        # Two disjoint triangles -> eigenvalue 0 with multiplicity 2.
+        spec = laplacian_spectrum(two_triangles(), k=6)
+        assert int(np.sum(spec < 1e-8)) == 2
+
+    def test_connected_graph_single_zero(self):
+        spec = laplacian_spectrum(complete_graph(5), k=5)
+        assert int(np.sum(spec < 1e-8)) == 1
+
+    def test_isolated_nodes_ignored(self):
+        # Triangle in a 50-node universe behaves like a 3-node triangle.
+        big = snapshot_from_edges(50, [(0, 1), (1, 2), (2, 0)])
+        small = snapshot_from_edges(3, [(0, 1), (1, 2), (2, 0)])
+        assert np.allclose(
+            laplacian_spectrum(big, k=3), laplacian_spectrum(small, k=3)
+        )
+
+    def test_empty_graph(self):
+        assert laplacian_spectrum(snapshot_from_edges(4, []), k=3).size == 0
+
+
+class TestSpectralGap:
+    def test_complete_graph_has_large_gap(self):
+        # K_n normalised Laplacian: eigenvalues 0 and n/(n-1).
+        assert spectral_gap(complete_graph(6)) == pytest.approx(6 / 5, abs=1e-6)
+
+    def test_disconnected_graph_zero_gap(self):
+        assert spectral_gap(two_triangles()) == pytest.approx(0.0, abs=1e-8)
+
+    def test_empty_graph_zero(self):
+        assert spectral_gap(snapshot_from_edges(3, [])) == 0.0
+
+    def test_path_smaller_gap_than_complete(self):
+        path = snapshot_from_edges(6, [(i, i + 1) for i in range(5)])
+        assert spectral_gap(path) < spectral_gap(complete_graph(6))
+
+
+class TestSpectralDistance:
+    def test_identical_zero(self):
+        s = two_triangles()
+        assert spectral_distance(s, s) == pytest.approx(0.0, abs=1e-9)
+
+    def test_both_empty_zero(self):
+        e = snapshot_from_edges(3, [])
+        assert spectral_distance(e, e) == 0.0
+
+    def test_different_positive(self):
+        assert spectral_distance(complete_graph(6), two_triangles()) > 0.0
+
+    def test_symmetry(self):
+        a, b = complete_graph(5), two_triangles()
+        assert spectral_distance(a, b) == pytest.approx(spectral_distance(b, a))
+
+
+@st.composite
+def snapshots(draw, max_nodes=12, max_edges=40):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return Snapshot(n, np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64))
+
+
+class TestProperties:
+    @given(snapshots())
+    @settings(max_examples=60, deadline=None)
+    def test_laplacian_spectrum_bounded(self, snap):
+        spec = laplacian_spectrum(snap, k=6)
+        if spec.size:
+            assert np.all(spec >= -1e-9)
+            assert np.all(spec <= 2.0 + 1e-9)
+
+    @given(snapshots())
+    @settings(max_examples=60, deadline=None)
+    def test_gap_nonnegative(self, snap):
+        assert spectral_gap(snap) >= 0.0
+
+    @given(snapshots(), snapshots())
+    @settings(max_examples=40, deadline=None)
+    def test_distance_symmetric_nonnegative(self, a, b):
+        d = spectral_distance(a, b)
+        assert d >= 0.0
+        assert d == pytest.approx(spectral_distance(b, a), abs=1e-9)

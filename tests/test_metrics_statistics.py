@@ -1,0 +1,157 @@
+"""Closed-form checks of the Table III graph statistics on known graphs."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Snapshot
+from repro.metrics import (
+    STATISTIC_FUNCTIONS,
+    claw_count,
+    compute_all_statistics,
+    largest_connected_component,
+    mean_degree,
+    num_components,
+    power_law_exponent,
+    statistic_names,
+    triangle_count,
+    wedge_count,
+)
+
+
+def triangle():
+    return Snapshot(3, np.array([0, 1, 2]), np.array([1, 2, 0]))
+
+
+def star(leaves=5):
+    return Snapshot(leaves + 1, np.zeros(leaves, dtype=int), np.arange(1, leaves + 1))
+
+
+def path(n=5):
+    return Snapshot(n, np.arange(n - 1), np.arange(1, n))
+
+
+def empty():
+    return Snapshot(4, np.array([], dtype=int), np.array([], dtype=int))
+
+
+class TestMeanDegree:
+    def test_triangle(self):
+        assert mean_degree(triangle()) == pytest.approx(2.0)
+
+    def test_star(self):
+        # Hub degree 5, leaves degree 1 -> mean = 10/6.
+        assert mean_degree(star(5)) == pytest.approx(10 / 6)
+
+    def test_empty(self):
+        assert mean_degree(empty()) == 0.0
+
+    def test_ignores_inactive_nodes(self):
+        s = Snapshot(100, np.array([0]), np.array([1]))
+        assert mean_degree(s) == pytest.approx(1.0)
+
+
+class TestWedges:
+    def test_triangle_has_three_wedges(self):
+        assert wedge_count(triangle()) == 3.0
+
+    def test_star_closed_form(self):
+        # C(5, 2) = 10 wedges at the hub.
+        assert wedge_count(star(5)) == 10.0
+
+    def test_path(self):
+        # interior nodes each contribute C(2,2)=1.
+        assert wedge_count(path(5)) == 3.0
+
+    def test_empty(self):
+        assert wedge_count(empty()) == 0.0
+
+
+class TestClaws:
+    def test_star_closed_form(self):
+        # C(5, 3) = 10 claws at the hub.
+        assert claw_count(star(5)) == 10.0
+
+    def test_triangle_has_none(self):
+        assert claw_count(triangle()) == 0.0
+
+    def test_path_has_none(self):
+        assert claw_count(path(4)) == 0.0
+
+
+class TestTriangles:
+    def test_single_triangle(self):
+        assert triangle_count(triangle()) == pytest.approx(1.0)
+
+    def test_star_has_none(self):
+        assert triangle_count(star()) == 0.0
+
+    def test_k4_has_four(self):
+        src, dst = [], []
+        for i in range(4):
+            for j in range(i + 1, 4):
+                src.append(i)
+                dst.append(j)
+        s = Snapshot(4, np.array(src), np.array(dst))
+        assert triangle_count(s) == pytest.approx(4.0)
+
+    def test_direction_irrelevant(self):
+        a = Snapshot(3, np.array([0, 1, 2]), np.array([1, 2, 0]))
+        b = Snapshot(3, np.array([1, 2, 0]), np.array([0, 1, 2]))
+        assert triangle_count(a) == triangle_count(b)
+
+    def test_empty(self):
+        assert triangle_count(empty()) == 0.0
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert num_components(triangle()) == 1.0
+        assert largest_connected_component(triangle()) == 3.0
+
+    def test_two_components(self):
+        s = Snapshot(6, np.array([0, 3]), np.array([1, 4]))
+        assert num_components(s) == 2.0
+        assert largest_connected_component(s) == 2.0
+
+    def test_inactive_nodes_not_counted(self):
+        s = Snapshot(50, np.array([0]), np.array([1]))
+        assert num_components(s) == 1.0
+
+    def test_empty(self):
+        assert num_components(empty()) == 0.0
+        assert largest_connected_component(empty()) == 0.0
+
+
+class TestPLE:
+    def test_regular_graph_degenerate(self):
+        # Triangle: all degrees equal -> log-sum is 0 -> defined as 0.
+        assert power_law_exponent(triangle()) == 0.0
+
+    def test_closed_form_star(self):
+        # degrees: hub 5, leaves 1 (d_min = 1): PLE = 1 + 6 / log(5).
+        expected = 1.0 + 6 / np.log(5)
+        assert power_law_exponent(star(5)) == pytest.approx(expected)
+
+    def test_closed_form_path(self):
+        # Path of n nodes: two endpoints with degree 1 (= d_min) and n-2
+        # interior nodes with degree 2: PLE = 1 + n / ((n - 2) log 2).
+        n = 6
+        expected = 1.0 + n / ((n - 2) * np.log(2))
+        assert power_law_exponent(path(n)) == pytest.approx(expected)
+
+    def test_empty(self):
+        assert power_law_exponent(empty()) == 0.0
+
+
+class TestRegistry:
+    def test_seven_statistics(self):
+        assert len(statistic_names()) == 7
+
+    def test_compute_all(self):
+        stats = compute_all_statistics(triangle())
+        assert set(stats) == set(STATISTIC_FUNCTIONS)
+        assert stats["triangle_count"] == pytest.approx(1.0)
+
+    def test_all_return_floats(self):
+        stats = compute_all_statistics(star())
+        assert all(isinstance(v, float) for v in stats.values())

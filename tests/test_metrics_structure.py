@@ -1,0 +1,217 @@
+"""Tests for the extended structural statistics (clustering, mixing, KS)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.snapshot import Snapshot
+from repro.metrics import (
+    EXTENDED_STATISTIC_FUNCTIONS,
+    average_local_clustering,
+    degree_assortativity,
+    degree_ks_distance,
+    density,
+    global_clustering,
+    reciprocity,
+)
+
+
+def snapshot_from_edges(num_nodes, edges):
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    return Snapshot(num_nodes, src, dst)
+
+
+def triangle():
+    return snapshot_from_edges(3, [(0, 1), (1, 2), (2, 0)])
+
+
+def star(leaves=4):
+    return snapshot_from_edges(leaves + 1, [(0, i) for i in range(1, leaves + 1)])
+
+
+def path(n=4):
+    return snapshot_from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def empty():
+    return snapshot_from_edges(3, [])
+
+
+class TestGlobalClustering:
+    def test_triangle_is_one(self):
+        assert global_clustering(triangle()) == pytest.approx(1.0)
+
+    def test_star_is_zero(self):
+        assert global_clustering(star()) == 0.0
+
+    def test_path_is_zero(self):
+        assert global_clustering(path()) == 0.0
+
+    def test_empty_is_zero(self):
+        assert global_clustering(empty()) == 0.0
+
+    def test_triangle_plus_pendant(self):
+        # Triangle {0,1,2} plus pendant 3 on node 0: 1 triangle, 5 wedges.
+        s = snapshot_from_edges(4, [(0, 1), (1, 2), (2, 0), (0, 3)])
+        assert global_clustering(s) == pytest.approx(3.0 / 5.0)
+
+
+class TestLocalClustering:
+    def test_triangle_is_one(self):
+        assert average_local_clustering(triangle()) == pytest.approx(1.0)
+
+    def test_star_center_zero(self):
+        # Only the hub has degree >= 2 and its neighbourhood has no edges.
+        assert average_local_clustering(star()) == 0.0
+
+    def test_empty_is_zero(self):
+        assert average_local_clustering(empty()) == 0.0
+
+    def test_triangle_plus_pendant(self):
+        # Node 0 has degree 3 -> C = 1/3; nodes 1, 2 have C = 1; node 3 excluded.
+        s = snapshot_from_edges(4, [(0, 1), (1, 2), (2, 0), (0, 3)])
+        assert average_local_clustering(s) == pytest.approx((1 / 3 + 1.0 + 1.0) / 3.0)
+
+
+class TestAssortativity:
+    def test_regular_graph_degenerate(self):
+        # Every node in a triangle has degree 2 -> zero variance -> 0.0.
+        assert degree_assortativity(triangle()) == 0.0
+
+    def test_star_is_negative(self):
+        assert degree_assortativity(star()) < -0.9
+
+    def test_empty_is_zero(self):
+        assert degree_assortativity(empty()) == 0.0
+
+    def test_two_hubs_joined_positive_vs_star(self):
+        # Two hubs joined to each other score higher than a hub-leaf star.
+        s = snapshot_from_edges(
+            8,
+            [(0, 1)]
+            + [(0, i) for i in (2, 3, 4)]
+            + [(1, i) for i in (5, 6, 7)],
+        )
+        assert degree_assortativity(s) > degree_assortativity(star(6))
+
+
+class TestReciprocity:
+    def test_fully_reciprocal(self):
+        s = snapshot_from_edges(2, [(0, 1), (1, 0)])
+        assert reciprocity(s) == pytest.approx(1.0)
+
+    def test_one_way_is_zero(self):
+        assert reciprocity(path()) == 0.0
+
+    def test_half_reciprocal(self):
+        s = snapshot_from_edges(3, [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (1, 1), (0, 1)])
+        # All pairs reciprocal (dups and self-loop ignored) -> 1.0.
+        assert reciprocity(s) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert reciprocity(empty()) == 0.0
+
+    def test_mixed(self):
+        s = snapshot_from_edges(3, [(0, 1), (1, 0), (1, 2)])
+        assert reciprocity(s) == pytest.approx(2.0 / 3.0)
+
+
+class TestDensity:
+    def test_triangle_is_one(self):
+        assert density(triangle()) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert density(empty()) == 0.0
+
+    def test_path_of_four(self):
+        # 3 undirected edges over C(4,2)=6 possible.
+        assert density(path(4)) == pytest.approx(0.5)
+
+    def test_inactive_nodes_ignored(self):
+        # Same path embedded in a 100-node universe: density unchanged.
+        s = snapshot_from_edges(100, [(i, i + 1) for i in range(3)])
+        assert density(s) == pytest.approx(0.5)
+
+
+class TestDegreeKS:
+    def test_identical_snapshots_zero(self):
+        assert degree_ks_distance(triangle(), triangle()) == 0.0
+
+    def test_empty_vs_empty_zero(self):
+        assert degree_ks_distance(empty(), empty()) == 0.0
+
+    def test_empty_vs_nonempty_one(self):
+        assert degree_ks_distance(empty(), triangle()) == 1.0
+
+    def test_star_vs_triangle_positive(self):
+        d = degree_ks_distance(star(), triangle())
+        assert 0.0 < d <= 1.0
+
+    def test_symmetry(self):
+        a, b = star(), path(6)
+        assert degree_ks_distance(a, b) == pytest.approx(degree_ks_distance(b, a))
+
+
+class TestRegistry:
+    def test_all_registered_functions_callable(self):
+        for name, func in EXTENDED_STATISTIC_FUNCTIONS.items():
+            value = func(triangle())
+            assert isinstance(value, float), name
+
+    def test_registry_names(self):
+        assert set(EXTENDED_STATISTIC_FUNCTIONS) == {
+            "global_clustering",
+            "avg_local_clustering",
+            "assortativity",
+            "reciprocity",
+            "density",
+        }
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+@st.composite
+def snapshots(draw, max_nodes=10, max_edges=30):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    return Snapshot(n, np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64))
+
+
+class TestProperties:
+    @given(snapshots())
+    @settings(max_examples=80, deadline=None)
+    def test_clustering_bounded(self, snap):
+        assert 0.0 <= global_clustering(snap) <= 1.0 + 1e-9
+        assert 0.0 <= average_local_clustering(snap) <= 1.0 + 1e-9
+
+    @given(snapshots())
+    @settings(max_examples=80, deadline=None)
+    def test_reciprocity_bounded(self, snap):
+        assert 0.0 <= reciprocity(snap) <= 1.0
+
+    @given(snapshots())
+    @settings(max_examples=80, deadline=None)
+    def test_density_bounded(self, snap):
+        assert 0.0 <= density(snap) <= 1.0 + 1e-9
+
+    @given(snapshots())
+    @settings(max_examples=80, deadline=None)
+    def test_assortativity_bounded(self, snap):
+        assert -1.0 - 1e-9 <= degree_assortativity(snap) <= 1.0 + 1e-9
+
+    @given(snapshots())
+    @settings(max_examples=60, deadline=None)
+    def test_ks_self_distance_zero(self, snap):
+        assert degree_ks_distance(snap, snap) == 0.0
+
+    @given(snapshots(), snapshots())
+    @settings(max_examples=60, deadline=None)
+    def test_ks_bounded_and_symmetric(self, a, b):
+        d = degree_ks_distance(a, b)
+        assert 0.0 <= d <= 1.0
+        assert d == pytest.approx(degree_ks_distance(b, a))

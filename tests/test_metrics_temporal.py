@@ -1,0 +1,126 @@
+"""Tests for the temporal-signature metrics."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import citation_network, communication_network
+from repro.graph import TemporalGraph
+from repro.metrics import (
+    burstiness,
+    compare_temporal_signatures,
+    edge_novelty_rate,
+    inter_event_times,
+    snapshot_jaccard_series,
+    temporal_correlation,
+    temporal_signature,
+    timestamp_entropy,
+)
+
+
+class TestInterEventTimes:
+    def test_repeated_pair_gaps(self):
+        g = TemporalGraph(2, [0, 0, 0], [1, 1, 1], [0, 2, 5], num_timestamps=6)
+        assert inter_event_times(g).tolist() == [2.0, 3.0]
+
+    def test_distinct_pairs_no_gaps(self):
+        g = TemporalGraph(4, [0, 1, 2], [1, 2, 3], [0, 1, 2])
+        assert inter_event_times(g).size == 0
+
+    def test_empty_graph(self):
+        g = TemporalGraph(2, [], [], [], num_timestamps=3)
+        assert inter_event_times(g).size == 0
+
+
+class TestBurstiness:
+    def test_periodic_is_negative(self):
+        # Perfectly regular gaps: sigma = 0 -> B = -1.
+        g = TemporalGraph(2, [0] * 5, [1] * 5, [0, 2, 4, 6, 8], num_timestamps=9)
+        assert burstiness(g) == pytest.approx(-1.0)
+
+    def test_bursty_is_positive(self):
+        # Two tight bursts far apart: high coefficient of variation.
+        times = [0, 0, 0, 0, 50, 50, 50, 50]
+        g = TemporalGraph(2, [0] * 8, [1] * 8, times, num_timestamps=51)
+        assert burstiness(g) > 0.3
+
+    def test_no_signal_zero(self):
+        g = TemporalGraph(3, [0], [1], [0])
+        assert burstiness(g) == 0.0
+
+    def test_communication_more_bursty_than_citation(self):
+        comm = communication_network(40, 400, 12, seed=1, burstiness=0.8)
+        cite = citation_network(40, 400, 12, seed=1)
+        assert burstiness(comm) >= burstiness(cite) - 0.2
+
+
+class TestNovelty:
+    def test_all_new_first_timestamp(self):
+        g = TemporalGraph(4, [0, 1], [1, 2], [0, 0], num_timestamps=2)
+        rates = edge_novelty_rate(g)
+        assert rates[0] == 1.0
+
+    def test_repeats_are_not_novel(self):
+        g = TemporalGraph(3, [0, 0], [1, 1], [0, 1], num_timestamps=2)
+        rates = edge_novelty_rate(g)
+        assert rates.tolist() == [1.0, 0.0]
+
+    def test_length(self):
+        g = communication_network(20, 100, 5, seed=0)
+        assert edge_novelty_rate(g).shape == (5,)
+
+
+class TestEntropy:
+    def test_uniform_is_one(self):
+        g = TemporalGraph(5, [0, 1, 2, 3], [1, 2, 3, 4], [0, 1, 2, 3])
+        assert timestamp_entropy(g) == pytest.approx(1.0)
+
+    def test_concentrated_is_zero(self):
+        g = TemporalGraph(5, [0, 1, 2], [1, 2, 3], [0, 0, 0], num_timestamps=4)
+        assert timestamp_entropy(g) == pytest.approx(0.0)
+
+    def test_unnormalised(self):
+        g = TemporalGraph(5, [0, 1, 2, 3], [1, 2, 3, 4], [0, 1, 2, 3])
+        assert timestamp_entropy(g, normalise=False) == pytest.approx(np.log(4))
+
+
+class TestJaccard:
+    def test_identical_snapshots(self):
+        g = TemporalGraph(3, [0, 0], [1, 1], [0, 1], num_timestamps=2)
+        assert snapshot_jaccard_series(g).tolist() == [1.0]
+
+    def test_disjoint_snapshots(self):
+        g = TemporalGraph(4, [0, 2], [1, 3], [0, 1], num_timestamps=2)
+        assert snapshot_jaccard_series(g).tolist() == [0.0]
+
+    def test_series_length(self):
+        g = communication_network(20, 100, 6, seed=0)
+        assert snapshot_jaccard_series(g).shape == (5,)
+
+    def test_correlation_scalar(self):
+        g = communication_network(20, 100, 6, seed=0)
+        value = temporal_correlation(g)
+        assert 0.0 <= value <= 1.0
+
+
+class TestSignature:
+    def test_keys(self):
+        g = communication_network(20, 100, 5, seed=0)
+        sig = temporal_signature(g)
+        assert set(sig) == {
+            "burstiness", "timestamp_entropy", "temporal_correlation", "mean_novelty"
+        }
+
+    def test_compare_identity_zero(self):
+        g = communication_network(20, 100, 5, seed=0)
+        diff = compare_temporal_signatures(g, g.copy())
+        assert all(v == 0.0 for v in diff.values())
+
+    def test_compare_detects_shuffled_times(self):
+        g = communication_network(25, 200, 8, seed=3, burstiness=0.8)
+        rng = np.random.default_rng(0)
+        shuffled = TemporalGraph(
+            g.num_nodes, g.src, g.dst, rng.permutation(g.t),
+            num_timestamps=g.num_timestamps,
+        )
+        diff = compare_temporal_signatures(g, shuffled)
+        assert sum(diff.values()) > 0.01

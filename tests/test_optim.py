@@ -1,0 +1,135 @@
+"""Tests for optimizers, schedulers, and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import tensor
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, ConstantLR, ExponentialDecayLR, StepLR, clip_grad_norm
+
+
+def quadratic_loss(param: Parameter):
+    """f(x) = sum((x - 3)^2), minimised at x = 3."""
+    diff = param - tensor(np.full(param.shape, 3.0))
+    return (diff * diff).sum()
+
+
+def run_steps(optimizer, param, steps):
+    for _ in range(steps):
+        loss = quadratic_loss(param)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return quadratic_loss(param).item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        final = run_steps(SGD([param], lr=0.1), param, 100)
+        assert final < 1e-6
+        assert np.allclose(param.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        p1 = Parameter(np.zeros(4))
+        p2 = Parameter(np.zeros(4))
+        plain = run_steps(SGD([p1], lr=0.01), p1, 30)
+        momentum = run_steps(SGD([p2], lr=0.01, momentum=0.9), p2, 30)
+        assert momentum < plain
+
+    def test_weight_decay_shrinks_solution(self):
+        param = Parameter(np.zeros(2))
+        run_steps(SGD([param], lr=0.1, weight_decay=1.0), param, 200)
+        # Decay pulls the optimum below 3.
+        assert np.all(param.data < 3.0)
+        assert np.all(param.data > 0.0)
+
+    def test_skips_parameters_without_grad(self):
+        param = Parameter(np.ones(2))
+        SGD([param], lr=0.1).step()  # no backward happened
+        assert np.allclose(param.data, 1.0)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            SGD([], lr=0.1)
+
+    def test_negative_lr_rejected(self):
+        with pytest.raises(ConfigError):
+            SGD([Parameter(np.ones(1))], lr=-0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.zeros(4))
+        final = run_steps(Adam([param], lr=0.2), param, 150)
+        assert final < 1e-4
+
+    def test_bias_correction_first_step(self):
+        """First Adam step should move by ~lr regardless of gradient scale."""
+        param = Parameter(np.zeros(1))
+        opt = Adam([param], lr=0.1)
+        loss = quadratic_loss(param)
+        loss.backward()
+        opt.step()
+        assert abs(abs(param.data[0]) - 0.1) < 1e-3
+
+    def test_invalid_betas(self):
+        with pytest.raises(ConfigError):
+            Adam([Parameter(np.ones(1))], betas=(1.0, 0.999))
+
+    def test_weight_decay(self):
+        # Equilibrium of 2(x - 3) + 0.5 x = 0 is x = 2.4, below the
+        # undecayed optimum of 3.
+        param = Parameter(np.full(2, 10.0))
+        opt = Adam([param], lr=0.1, weight_decay=0.5)
+        run_steps(opt, param, 400)
+        assert np.allclose(param.data, 2.4, atol=0.3)
+
+
+class TestClip:
+    def test_returns_norm(self):
+        param = Parameter(np.zeros(3))
+        param.grad = np.array([3.0, 4.0, 0.0])
+        norm = clip_grad_norm([param], max_norm=100.0)
+        assert norm == pytest.approx(5.0)
+        assert np.allclose(param.grad, [3.0, 4.0, 0.0])  # below threshold: untouched
+
+    def test_clips_above_threshold(self):
+        param = Parameter(np.zeros(2))
+        param.grad = np.array([30.0, 40.0])
+        clip_grad_norm([param], max_norm=5.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(5.0)
+
+    def test_no_grads_is_zero(self):
+        assert clip_grad_norm([Parameter(np.zeros(2))], 1.0) == 0.0
+
+
+class TestSchedulers:
+    def _opt(self):
+        return SGD([Parameter(np.zeros(1))], lr=1.0)
+
+    def test_constant(self):
+        sched = ConstantLR(self._opt())
+        for _ in range(5):
+            assert sched.step() == 1.0
+
+    def test_step_lr(self):
+        opt = self._opt()
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = [sched.step() for _ in range(4)]
+        assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+    def test_exponential(self):
+        opt = self._opt()
+        sched = ExponentialDecayLR(opt, gamma=0.9)
+        sched.step()
+        assert opt.lr == pytest.approx(0.9)
+        sched.step()
+        assert opt.lr == pytest.approx(0.81)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            StepLR(self._opt(), step_size=0)
+        with pytest.raises(ConfigError):
+            ExponentialDecayLR(self._opt(), gamma=1.5)
