@@ -17,7 +17,6 @@ against both nulls: it must beat each null on the property that null
 destroys.
 """
 
-import numpy as np
 
 from repro.core import TGAEGenerator
 from repro.graph import rewire_degree_preserving, shuffle_timestamps

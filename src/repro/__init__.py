@@ -19,6 +19,25 @@ Sub-packages
     The ten comparison methods of Sec. V.
 ``repro.bench``
     The experiment harness regenerating every table and figure.
+
+The batched ego-graph encoding pipeline
+---------------------------------------
+The hot path of both training and Sec. IV-G generation is encoding one
+k-radius ego-graph per active temporal node.  Two computation-graph layouts
+implement it:
+
+* ``repro.graph.pack_ego_batch`` packs a chunk of ego-graphs into a padded
+  ego-parallel batch (index tensors + masks) and
+  ``repro.core.TGAEEncoder.encode_batch`` runs **one** vectorised encoder
+  forward per chunk -- numerically identical to encoding each ego-graph on
+  its own, several times faster, and the default
+  (``TGAEConfig.packed_batches = True``).
+* ``repro.graph.build_bipartite_batch`` merges ego-graphs into the shared
+  k-bipartite graphs of Fig. 4 (cross-ego node deduplication), available
+  via ``TGAEConfig(packed_batches=False)``.
+
+Generation draws every row of a chunk's score matrix in one vectorised
+Gumbel top-k pass (sampling without replacement per temporal node).
 """
 
 from .base import TemporalGraphGenerator

@@ -22,7 +22,7 @@ from ..base import TemporalGraphGenerator
 from ..errors import GenerationError
 from ..graph.temporal_graph import TemporalGraph
 from ..graph.walks import sample_walk_corpus, walks_to_graph
-from ..nn import Embedding, GRUCell, Linear, Module
+from ..nn import GRUCell, Linear, Module
 from ..optim import Adam, clip_grad_norm
 
 

@@ -9,7 +9,7 @@ the memory behaviour responsible for VGAE's OOM entries in Tables IV-VI.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -59,6 +59,14 @@ class TGAEConfig:
         paper's future-work direction of scaling learning-based simulation
         to very large node universes.  ``0`` (default) keeps the exact dense
         decoder of Alg. 2.
+    packed_batches:
+        When ``True`` (default), training minibatches and Sec. IV-G
+        generation run the encoder over padded ego-parallel batches
+        (:func:`repro.graph.pack_ego_batch`) -- one vectorised forward per
+        batch of temporal nodes, each ego-graph encoded independently
+        exactly as in the per-node path.  When ``False``, the original
+        merged k-bipartite layout (cross-ego node deduplication, Fig. 4) is
+        used instead.
     epochs, learning_rate, kl_weight, grad_clip:
         Optimisation settings for Eq. 7.
     seed:
@@ -78,6 +86,7 @@ class TGAEConfig:
     probabilistic: bool = True
     decode_neighbors: bool = True
     candidate_limit: int = 0
+    packed_batches: bool = True
     epochs: int = 30
     learning_rate: float = 5e-3
     kl_weight: float = 1e-3

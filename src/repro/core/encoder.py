@@ -14,7 +14,7 @@ from typing import Optional
 import numpy as np
 
 from ..autograd import Tensor
-from ..graph.bipartite import BipartiteBatch
+from ..graph.bipartite import BipartiteBatch, PackedEgoBatch
 from ..nn import Embedding, Linear, Module, ModuleList, TemporalGraphAttention
 from .config import TGAEConfig
 
@@ -102,9 +102,12 @@ class TGAEEncoder(Module):
         distinguishable, which the snapshot-indexed feature matrix
         ``X^{(t)}`` of Alg. 1 provides in the original formulation.  When an
         external feature matrix is attached, its projection is added.
+
+        ``temporal_nodes`` may carry leading batch dimensions -- ``(n, 2)``
+        and the padded ``(batch, n, 2)`` layout are both supported.
         """
-        ids = temporal_nodes[:, 0]
-        times = temporal_nodes[:, 1]
+        ids = temporal_nodes[..., 0]
+        times = temporal_nodes[..., 1]
         out = self.node_embedding(ids) + self.time_embedding(times)
         if self._external_features is not None and self.feature_proj is not None:
             if self._external_features.ndim == 2:
@@ -141,3 +144,28 @@ class TGAEEncoder(Module):
     def encode_centers(self, batch: BipartiteBatch) -> Tensor:
         """Hidden vectors aligned with the original ego-graph order."""
         return self.forward(batch).take_rows(batch.center_index)
+
+    def encode_batch(self, packed: PackedEgoBatch) -> Tensor:
+        """Encode a padded ego-parallel batch in one vectorised forward.
+
+        Returns ``(batch, hidden)`` centre representations, one per packed
+        ego-graph, numerically matching a sequential per-ego
+        :meth:`encode_centers` call (each ego-graph stays independent; no
+        cross-ego node merging takes place).
+        """
+        radius = packed.radius
+        current = self.input_proj(self.node_features(packed.level_nodes[radius]))
+        for level in range(radius, 0, -1):
+            layer = self.layers[radius - level]
+            edges = packed.levels[level - 1]
+            target_feats = self.input_proj(self.node_features(packed.level_nodes[level - 1]))
+            current = layer(
+                h_src=current,
+                h_dst=target_feats,
+                src_index=edges.src_index,
+                dst_index=edges.dst_index,
+                delta_t=edges.delta_t,
+                edge_mask=edges.edge_mask,
+            )
+        # Level 0 holds exactly the centre of each ego-graph.
+        return current.reshape(packed.batch_size, self.config.hidden_dim)

@@ -25,28 +25,90 @@ from .sampler import EgoGraphSampler
 from .trainer import TrainingHistory, train_tgae
 
 
+def _sample_rows_without_replacement(
+    probs: np.ndarray,
+    counts: np.ndarray,
+    rng: np.random.Generator,
+    forbid: Optional[np.ndarray] = None,
+) -> List[np.ndarray]:
+    """Row-batched sampling without replacement via vectorised Gumbel top-k.
+
+    Draws ``counts[i]`` distinct column indices from the categorical
+    distribution ``probs[i]`` for every row ``i`` in one vectorised pass
+    (one Gumbel perturbation + one argsort over the whole matrix), instead
+    of one NumPy round-trip per row.
+
+    Parameters
+    ----------
+    probs:
+        ``(rows, n)`` non-negative weights; rows need not be normalised
+        (Gumbel top-k is invariant to per-row scaling).
+    counts:
+        ``(rows,)`` number of distinct draws requested per row; clipped to
+        the number of columns with positive allowed mass.
+    forbid:
+        Optional ``(rows,)`` column index excluded per row (no self-loop
+        edges during generation).
+
+    A row whose entire mass sits on forbidden/zero entries falls back to
+    uniform sampling over the allowed columns; if no allowed column remains
+    at all (e.g. a single-node universe whose only column is forbidden) the
+    row yields an empty draw rather than dividing by zero or returning the
+    forbidden index.
+    """
+    p = np.asarray(probs, dtype=np.float64).copy()
+    if p.ndim != 2:
+        raise GenerationError(f"probs must be 2-D, got shape {p.shape}")
+    rows, _ = p.shape
+    row_ids = np.arange(rows)
+    if forbid is not None:
+        forbid = np.asarray(forbid, dtype=np.int64)
+        p[row_ids, forbid] = 0.0
+    totals = p.sum(axis=1)
+    degenerate = totals <= 0
+    if degenerate.any():
+        # Degenerate rows: fall back to uniform over allowed entries.
+        p[degenerate] = 1.0
+        if forbid is not None:
+            p[row_ids[degenerate], forbid[degenerate]] = 0.0
+    allowed = p > 0
+    counts = np.minimum(
+        np.asarray(counts, dtype=np.int64), allowed.sum(axis=1)
+    ).clip(min=0)
+    gumbel = -np.log(-np.log(rng.random(p.shape) + 1e-300) + 1e-300)
+    with np.errstate(divide="ignore"):
+        keys = np.where(allowed, np.log(np.where(allowed, p, 1.0)) + gumbel, -np.inf)
+    max_k = int(counts.max()) if counts.size else 0
+    if max_k == 0:
+        return [np.array([], dtype=np.int64) for _ in range(rows)]
+    n = p.shape[1]
+    if max_k < n:
+        # Top-max_k per row in linear time, then sort only those columns so
+        # each row's first counts[i] entries are its true top keys.
+        top = np.argpartition(-keys, max_k - 1, axis=1)[:, :max_k]
+        within = np.argsort(-np.take_along_axis(keys, top, axis=1), axis=1)
+        order = np.take_along_axis(top, within, axis=1)
+    else:
+        order = np.argsort(-keys, axis=1)
+    return [order[i, : counts[i]].astype(np.int64) for i in range(rows)]
+
+
 def _sample_without_replacement(
     probs: np.ndarray, count: int, rng: np.random.Generator, forbid: Optional[int] = None
 ) -> np.ndarray:
-    """Draw ``count`` distinct indices from a categorical via Gumbel top-k."""
-    p = probs.astype(np.float64).copy()
-    if forbid is not None:
-        p[forbid] = 0.0
-    total = p.sum()
-    if total <= 0:
-        # Degenerate row: fall back to uniform over allowed entries.
-        p = np.ones_like(p)
-        if forbid is not None:
-            p[forbid] = 0.0
-        total = p.sum()
-    p /= total
-    count = min(count, int(np.count_nonzero(p)))
-    if count == 0:
-        return np.array([], dtype=np.int64)
-    gumbel = -np.log(-np.log(rng.random(p.size) + 1e-300) + 1e-300)
-    log_p = np.log(np.where(p > 0, p, 1.0))
-    keys = np.where(p > 0, log_p + gumbel, -np.inf)
-    return np.argpartition(-keys, count - 1)[:count].astype(np.int64)
+    """Draw ``count`` distinct indices from one categorical via Gumbel top-k.
+
+    Single-row convenience wrapper around
+    :func:`_sample_rows_without_replacement`, inheriting its degenerate-row
+    guarantees (uniform fallback; empty draw when every entry is forbidden).
+    """
+    rows = _sample_rows_without_replacement(
+        np.asarray(probs, dtype=np.float64)[None, :],
+        np.array([count], dtype=np.int64),
+        rng,
+        forbid=None if forbid is None else np.array([forbid], dtype=np.int64),
+    )
+    return rows[0]
 
 
 class TGAEGenerator(TemporalGraphGenerator):
@@ -154,8 +216,12 @@ class TGAEGenerator(TemporalGraphGenerator):
                 candidate_sets = None
                 if self.config.candidate_limit > 0:
                     candidate_sets = self._generation_candidates(part, partner_pool, rng)
+                # One encoder forward per chunk of temporal nodes (packed
+                # ego-parallel layout by default).
                 decoded = self.model(
-                    batch.bipartite, sample=False, candidates=candidate_sets
+                    batch.computation_batch(self.config.packed_batches),
+                    sample=False,
+                    candidates=candidate_sets,
                 )
                 probs = softmax(decoded.logits, axis=-1).numpy()
                 if candidate_sets is not None:
@@ -165,13 +231,14 @@ class TGAEGenerator(TemporalGraphGenerator):
                     rows = np.repeat(np.arange(part.shape[0]), candidate_sets.shape[1])
                     np.add.at(full, (rows, candidate_sets.reshape(-1)), probs.reshape(-1))
                     probs = full
-                for row in range(part.shape[0]):
-                    node, timestamp = int(part[row, 0]), int(part[row, 1])
-                    targets = _sample_without_replacement(
-                        probs[row], int(part_distinct[row]), rng, forbid=node
-                    )
+                # All rows of the chunk are drawn in one vectorised pass.
+                drawn = _sample_rows_without_replacement(
+                    probs, part_distinct, rng, forbid=part[:, 0]
+                )
+                for row, targets in enumerate(drawn):
                     if targets.size == 0:
                         continue
+                    node, timestamp = int(part[row, 0]), int(part[row, 1])
                     extra = int(part_deg[row]) - targets.size
                     if extra > 0:
                         # Multi-edges: repeat drawn targets proportionally to
@@ -234,6 +301,8 @@ class TGAEGenerator(TemporalGraphGenerator):
                     [np.arange(graph.num_nodes), np.full(graph.num_nodes, timestamp)], axis=1
                 )
                 batch = sampler.batch_for_centers(centers)
-                decoded = self.model(batch.bipartite, sample=False)
+                decoded = self.model(
+                    batch.computation_batch(self.config.packed_batches), sample=False
+                )
                 scores[:, j, :] = softmax(decoded.logits, axis=-1).numpy()
         return scores

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
-from ..graph.bipartite import BipartiteBatch
+from ..graph.bipartite import BipartiteBatch, PackedEgoBatch
 from ..nn import Module
 from .config import TGAEConfig
 from .decoder import DecoderOutput, EgoGraphDecoder
@@ -41,7 +41,7 @@ class TGAEModel(Module):
 
     def forward(
         self,
-        batch: BipartiteBatch,
+        batch: Union[BipartiteBatch, PackedEgoBatch],
         sample: bool = True,
         candidates: Optional[np.ndarray] = None,
     ) -> DecoderOutput:
@@ -50,7 +50,10 @@ class TGAEModel(Module):
         Parameters
         ----------
         batch:
-            Merged ego-graphs in k-bipartite form.
+            Either merged ego-graphs in k-bipartite form
+            (:class:`BipartiteBatch`) or the padded ego-parallel layout
+            (:class:`PackedEgoBatch`); the packed layout is the vectorised
+            hot path used by training and generation.
         sample:
             Forwarded to the decoder: reparameterised latent (training) vs
             posterior mean (inference).
@@ -59,8 +62,12 @@ class TGAEModel(Module):
             runs in sampled-softmax mode and the returned logits index into
             the candidate sets instead of the node universe.
         """
-        center_nodes = batch.level_nodes[0][batch.center_index]
-        center_hidden = self.encoder.encode_centers(batch)
+        if isinstance(batch, PackedEgoBatch):
+            center_nodes = batch.center_nodes
+            center_hidden = self.encoder.encode_batch(batch)
+        else:
+            center_nodes = batch.level_nodes[0][batch.center_index]
+            center_hidden = self.encoder.encode_centers(batch)
         center_features = self.encoder.node_features(center_nodes)
         if candidates is not None:
             return self.decoder.forward_candidates(

@@ -7,13 +7,18 @@ nodes and the observed adjacency rows those centres must reconstruct.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
 
 import numpy as np
 
-from ..graph.bipartite import BipartiteBatch, build_bipartite_batch
-from ..graph.ego_graph import ego_graph_batch, sample_initial_nodes
+from ..graph.bipartite import (
+    BipartiteBatch,
+    PackedEgoBatch,
+    build_bipartite_batch,
+    pack_ego_batch,
+)
+from ..graph.ego_graph import EgoGraph, ego_graph_batch, sample_initial_nodes
 from ..graph.temporal_graph import TemporalGraph
 from .config import TGAEConfig
 from .loss import adjacency_target_rows
@@ -21,17 +26,47 @@ from .loss import adjacency_target_rows
 
 @dataclass
 class TrainingBatch:
-    """One mini-batch: bipartite computation graphs + reconstruction targets.
+    """One mini-batch: sampled ego-graphs + reconstruction targets.
+
+    The sampled ego-graphs are stored raw; the two computation-graph views
+    are built lazily and cached on first access:
+
+    * :attr:`bipartite` -- the merged/deduplicated k-bipartite layout of
+      Fig. 4 (cross-ego node sharing).
+    * :attr:`packed` -- the padded ego-parallel layout consumed by the
+      vectorised batched hot path.
 
     ``candidates`` is populated only in sampled-softmax mode
     (``config.candidate_limit > 0``): a ``(batch, C)`` array of node ids the
     decoder scores instead of the full universe.
     """
 
-    bipartite: BipartiteBatch
     centers: np.ndarray
     target_rows: List[np.ndarray]
+    egos: List[EgoGraph] = field(default_factory=list)
     candidates: Optional[np.ndarray] = None
+    _bipartite: Optional[BipartiteBatch] = field(default=None, repr=False)
+    _packed: Optional[PackedEgoBatch] = field(default=None, repr=False)
+
+    @property
+    def bipartite(self) -> BipartiteBatch:
+        """Merged k-bipartite view (built on first access)."""
+        if self._bipartite is None:
+            self._bipartite = build_bipartite_batch(self.egos)
+        return self._bipartite
+
+    @property
+    def packed(self) -> PackedEgoBatch:
+        """Padded ego-parallel view (built on first access)."""
+        if self._packed is None:
+            self._packed = pack_ego_batch(self.egos)
+        return self._packed
+
+    def computation_batch(
+        self, packed: bool = True
+    ) -> Union[BipartiteBatch, PackedEgoBatch]:
+        """The computation-graph view selected by ``packed``."""
+        return self.packed if packed else self.bipartite
 
 
 class EgoGraphSampler:
@@ -68,7 +103,12 @@ class EgoGraphSampler:
         )
 
     def batch_for_centers(self, centers: np.ndarray) -> TrainingBatch:
-        """Build the bipartite batch + targets for explicit centres."""
+        """Build the training batch (ego-graphs + targets) for explicit centres.
+
+        The computation-graph views (merged bipartite / padded packed) are
+        materialised lazily by :class:`TrainingBatch`, so callers only pay
+        for the layout they actually consume.
+        """
         egos = ego_graph_batch(
             self.graph,
             centers,
@@ -77,7 +117,6 @@ class EgoGraphSampler:
             time_window=self.config.time_window,
             rng=self.rng,
         )
-        bipartite = build_bipartite_batch(egos)
         targets = adjacency_target_rows(
             self.graph.src, self.graph.dst, self.graph.t, centers
         )
@@ -85,7 +124,7 @@ class EgoGraphSampler:
         if self.config.candidate_limit > 0:
             candidates = self.build_candidates(centers, targets)
         return TrainingBatch(
-            bipartite=bipartite, centers=centers, target_rows=targets,
+            centers=centers, target_rows=targets, egos=egos,
             candidates=candidates,
         )
 

@@ -52,7 +52,11 @@ def train_tgae(
     model.train()
     for epoch in range(config.epochs):
         batch = sampler.next_batch()
-        decoded = model(batch.bipartite, sample=True, candidates=batch.candidates)
+        # One encoder forward per minibatch; the packed (padded ego-parallel)
+        # layout is the vectorised hot path, the merged bipartite layout the
+        # cross-ego-sharing alternative.
+        computation = batch.computation_batch(config.packed_batches)
+        decoded = model(computation, sample=True, candidates=batch.candidates)
         loss = tgae_loss(
             decoded,
             batch.target_rows,

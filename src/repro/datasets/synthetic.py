@@ -22,7 +22,6 @@ line up with the registry specs.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -1,6 +1,13 @@
 """Temporal graph data structures and sampling (Definitions 1-4, Alg. 1, Fig. 4)."""
 
-from .bipartite import BipartiteBatch, BipartiteLevel, build_bipartite_batch
+from .bipartite import (
+    BipartiteBatch,
+    BipartiteLevel,
+    PackedEgoBatch,
+    PackedLevel,
+    build_bipartite_batch,
+    pack_ego_batch,
+)
 from .ego_graph import (
     EgoGraph,
     ego_graph_batch,
@@ -64,7 +71,10 @@ __all__ = [
     "ego_graph_batch",
     "BipartiteBatch",
     "BipartiteLevel",
+    "PackedEgoBatch",
+    "PackedLevel",
     "build_bipartite_batch",
+    "pack_ego_batch",
     "sample_temporal_walk",
     "sample_walk_corpus",
     "walks_to_graph",

@@ -13,7 +13,7 @@ standard binning policies plus helpers to inspect the result:
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple, Union
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -20,7 +20,7 @@ Two behaviours from the paper are implemented faithfully:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -10,7 +10,7 @@ these datasets does before modelling.
 from __future__ import annotations
 
 import os
-from typing import Optional, TextIO, Tuple, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 

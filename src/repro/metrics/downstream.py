@@ -25,7 +25,7 @@ perfect generator has gap 0.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 import scipy.sparse as sp

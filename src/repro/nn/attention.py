@@ -132,55 +132,129 @@ class TemporalGraphAttention(Module):
         src_index: np.ndarray,
         dst_index: np.ndarray,
         delta_t: Optional[np.ndarray] = None,
+        edge_mask: Optional[np.ndarray] = None,
     ) -> Tensor:
         """Aggregate source messages into target representations.
+
+        Two input layouts are supported:
+
+        * **Flat** (one merged bipartite graph): ``h_src`` is
+          ``(n_src, in_features)``, ``h_dst`` is ``(n_dst, in_features)``
+          and the index arrays are ``(n_edges,)``.
+        * **Batched/padded** (one independent bipartite graph per leading
+          batch row, e.g. a :class:`~repro.graph.bipartite.PackedEgoBatch`
+          level): ``h_src`` is ``(batch, n_src, in_features)``, ``h_dst`` is
+          ``(batch, n_dst, in_features)``, the index arrays (and optional
+          ``delta_t`` / ``edge_mask``) are ``(batch, n_edges)``, and the
+          output is ``(batch, n_dst, out_features)``.
 
         Parameters
         ----------
         h_src:
-            ``(n_src, in_features)`` source-node representations.
+            Source-node representations.
         h_dst:
-            ``(n_dst, in_features)`` target-node representations (used only
-            for attention scoring; self-information should be provided via a
-            self-loop edge, which the sampler adds).
+            Target-node representations (used only for attention scoring;
+            self-information should be provided via a self-loop edge, which
+            the sampler adds).
         src_index, dst_index:
-            Parallel ``(n_edges,)`` integer arrays defining the bipartite
-            edges: edge ``e`` flows ``src_index[e] -> dst_index[e]``.
+            Parallel integer arrays defining the bipartite edges: edge ``e``
+            flows ``src_index[e] -> dst_index[e]`` (within its batch row in
+            the padded layout).
         delta_t:
-            Optional ``(n_edges,)`` array of time differences
-            ``t_dst - t_src`` for the temporal encoding.
+            Optional time differences ``t_dst - t_src`` for the temporal
+            encoding, one per edge.
+        edge_mask:
+            Optional boolean array marking *real* edges in the padded
+            layout; ``False`` entries are padding and contribute nothing to
+            any target (their messages are routed to a discarded dummy row).
         """
         src_index = np.asarray(src_index, dtype=np.int64)
         dst_index = np.asarray(dst_index, dtype=np.int64)
         if src_index.shape != dst_index.shape:
             raise ShapeError("src_index and dst_index must have equal length")
-        n_dst = h_dst.shape[0]
-        n_edges = src_index.shape[0]
-        if n_edges == 0:
-            # No incoming messages: output is the bias alone.
-            return Tensor(np.zeros((n_dst, self.out_features))) + self.bias
+        if h_src.ndim == 3:
+            return self._forward_padded(
+                h_src, h_dst, src_index, dst_index, delta_t, edge_mask
+            )
+        return self._forward_flat(
+            h_src, h_dst, src_index, dst_index, delta_t, h_dst.shape[0]
+        )
 
+    def _forward_padded(
+        self,
+        h_src: Tensor,
+        h_dst: Tensor,
+        src_index: np.ndarray,
+        dst_index: np.ndarray,
+        delta_t: Optional[np.ndarray],
+        edge_mask: Optional[np.ndarray],
+    ) -> Tensor:
+        """Batched forward over per-ego padded bipartite graphs.
+
+        Each batch row is an independent bipartite graph; the whole batch is
+        flattened into one block-diagonal graph (per-row index offsets) so
+        the flat gather/scatter kernels compute every row concurrently.
+        Masked (padding) edges are redirected to one extra dummy target row
+        which is sliced away afterwards, so they influence neither the
+        softmax normalisation nor the aggregation of any real target.
+        """
+        if h_dst.ndim != 3 or src_index.ndim != 2:
+            raise ShapeError(
+                "padded attention expects 3-D h_src/h_dst and 2-D index arrays"
+            )
+        batch, n_src = h_src.shape[0], h_src.shape[1]
+        n_dst = h_dst.shape[1]
+        if h_dst.shape[0] != batch or src_index.shape[0] != batch:
+            raise ShapeError("batch dimension mismatch between inputs")
+        flat_src = h_src.reshape(batch * n_src, h_src.shape[2])
+        flat_dst = h_dst.reshape(batch * n_dst, h_dst.shape[2])
+        row_offset = np.arange(batch, dtype=np.int64)[:, None]
+        src_flat = (src_index + row_offset * n_src).reshape(-1)
+        dst_flat = (dst_index + row_offset * n_dst).reshape(-1)
+        num_targets = batch * n_dst
+        if edge_mask is not None:
+            mask_flat = np.asarray(edge_mask, dtype=bool).reshape(-1)
+            dst_flat = np.where(mask_flat, dst_flat, num_targets)
+            # One dummy target row absorbs every padding edge.
+            zero_row = Tensor(np.zeros((1, flat_dst.shape[1])))
+            flat_dst = concat([flat_dst, zero_row], axis=0)
+            num_targets += 1
+        dt_flat = None if delta_t is None else np.asarray(delta_t).reshape(-1)
+        out = self._forward_flat(flat_src, flat_dst, src_flat, dst_flat, dt_flat, num_targets)
+        if edge_mask is not None:
+            out = out[: batch * n_dst]
+        return out.reshape(batch, n_dst, self.out_features)
+
+    def _forward_flat(
+        self,
+        h_src: Tensor,
+        h_dst: Tensor,
+        src_index: np.ndarray,
+        dst_index: np.ndarray,
+        delta_t: Optional[np.ndarray],
+        n_dst: int,
+    ) -> Tensor:
+        """Shared per-head attention kernel over a flat edge list."""
+        if src_index.shape[0] == 0:
+            return Tensor(np.zeros((n_dst, self.out_features))) + self.bias
         head_outputs = []
         time_feat = None
         if self.time_encoding is not None and delta_t is not None:
             time_feat = self.time_encoding(delta_t)  # (n_edges, time_dim)
-
         for head in range(self.num_heads):
-            z_src = h_src @ self.w_src[head]  # (n_src, d)
-            z_dst = h_dst @ self.w_dst[head]  # (n_dst, d)
-            msg = z_src.take_rows(src_index)  # (n_edges, d)
+            z_src = h_src @ self.w_src[head]
+            z_dst = h_dst @ self.w_dst[head]
+            msg = z_src.take_rows(src_index)
             if time_feat is not None:
                 msg = msg + time_feat @ self.w_time[head]
-            # Eq. 5: score = LeakyReLU(a_src . msg + a_dst . z_dst[dst]).
             score = (msg * self.attn_src[head]).sum(axis=-1) + (
                 z_dst.take_rows(dst_index) * self.attn_dst[head]
             ).sum(axis=-1)
             score = score.leaky_relu(self.negative_slope)
-            alpha = segment_softmax(score, dst_index, n_dst)  # (n_edges,)
+            alpha = segment_softmax(score, dst_index, n_dst)
             weighted = msg * alpha.reshape(-1, 1)
-            head_outputs.append(weighted.segment_sum(dst_index, n_dst))  # (n_dst, d)
-
-        stacked = concat(head_outputs, axis=1)  # (n_dst, heads*d), Eq. 3 concat
+            head_outputs.append(weighted.segment_sum(dst_index, n_dst))
+        stacked = concat(head_outputs, axis=1)
         return stacked @ self.w_out + self.bias
 
     def __repr__(self) -> str:

@@ -7,13 +7,17 @@ from typing import Optional
 import numpy as np
 
 from ..autograd import Tensor
-from ..errors import ConfigError
+from ..errors import ConfigError, ShapeError
 from . import init
 from .module import Module, Parameter
 
 
 class Linear(Module):
     """Fully-connected layer ``y = x W + b``.
+
+    The layer is applied to the last axis, so inputs may carry arbitrary
+    leading batch dimensions: ``(n, in)`` and ``(batch, n, in)`` (the padded
+    ego-batch layout) are both supported, producing matching output shapes.
 
     Parameters
     ----------
@@ -42,6 +46,10 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"Linear expects last dim {self.in_features}, got {x.shape}"
+            )
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias

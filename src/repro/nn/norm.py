@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..autograd import Tensor
 from ..errors import ConfigError
 from .module import Module, Parameter
@@ -10,7 +12,14 @@ import numpy as np
 
 
 class LayerNorm(Module):
-    """Layer normalisation over the last dimension with learnable affine."""
+    """Layer normalisation over the last dimension with learnable affine.
+
+    Statistics are computed per row of the last axis, so the layer accepts
+    arbitrary leading batch dimensions (``(n, dim)``, ``(batch, n, dim)``,
+    ...).  An optional boolean ``mask`` marks real rows in padded batches;
+    masked (padding) rows are zeroed in the output so garbage values cannot
+    leak into downstream reductions.
+    """
 
     def __init__(self, dim: int, eps: float = 1e-5) -> None:
         super().__init__()
@@ -21,9 +30,13 @@ class LayerNorm(Module):
         self.gamma = Parameter(np.ones(dim))
         self.beta = Parameter(np.zeros(dim))
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
         mean = x.mean(axis=-1, keepdims=True)
         centred = x - mean
         var = (centred * centred).mean(axis=-1, keepdims=True)
         normed = centred / (var + self.eps).sqrt()
-        return normed * self.gamma + self.beta
+        out = normed * self.gamma + self.beta
+        if mask is not None:
+            keep = np.asarray(mask, dtype=out.data.dtype)[..., None]
+            out = out * Tensor(keep)
+        return out

@@ -1,0 +1,24 @@
+"""Shared Hypothesis strategies and settings tiers for the test suite.
+
+Usage::
+
+    from strategies import QUICK_SETTINGS, SLOW_SETTINGS, STANDARD_SETTINGS
+
+    @given(...)
+    @STANDARD_SETTINGS
+    def test_property(...): ...
+"""
+
+from strategies.settings import (
+    DETERMINISM_SETTINGS,
+    QUICK_SETTINGS,
+    SLOW_SETTINGS,
+    STANDARD_SETTINGS,
+)
+
+__all__ = [
+    "DETERMINISM_SETTINGS",
+    "QUICK_SETTINGS",
+    "SLOW_SETTINGS",
+    "STANDARD_SETTINGS",
+]

@@ -1,0 +1,26 @@
+"""Standardized Hypothesis settings tiers for the property-based tests.
+
+Centralising the profiles keeps CI runtime bounded and intentional: a test
+opts into a *tier* rather than picking an ad-hoc example count, so the
+whole suite's property-testing budget can be tuned in one place.
+
+Tiers:
+
+- ``DETERMINISM_SETTINGS``: 200 examples -- seed/reproducibility invariants
+  where silent breakage would poison every downstream experiment.
+- ``STANDARD_SETTINGS``: 80 examples -- regular structural property tests.
+- ``SLOW_SETTINGS``: 40 examples -- tests that build graphs / run models
+  per example.
+- ``QUICK_SETTINGS``: 25 examples -- numeric gradient checks and other
+  expensive-per-example validations.
+
+``deadline`` is disabled everywhere: the suite runs on shared CI runners
+whose per-example timing jitter would otherwise cause flaky failures.
+"""
+
+from hypothesis import settings
+
+DETERMINISM_SETTINGS = settings(max_examples=200, deadline=None)
+STANDARD_SETTINGS = settings(max_examples=80, deadline=None)
+SLOW_SETTINGS = settings(max_examples=40, deadline=None)
+QUICK_SETTINGS = settings(max_examples=25, deadline=None)

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.autograd import (
-    Tensor,
     binary_cross_entropy_with_logits,
     check_gradients,
     cross_entropy_with_logits,

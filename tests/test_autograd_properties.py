@@ -6,8 +6,10 @@ hold for arbitrary inputs.
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from strategies import QUICK_SETTINGS
 
 from repro.autograd import (
     check_gradients,
@@ -17,7 +19,6 @@ from repro.autograd import (
     tensor,
 )
 
-SETTINGS = dict(max_examples=25, deadline=None)
 
 
 def arrays(min_dim=1, max_dim=6, lo=-3.0, hi=3.0):
@@ -31,7 +32,7 @@ def arrays(min_dim=1, max_dim=6, lo=-3.0, hi=3.0):
 
 
 @given(arrays(), arrays())
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_add_commutative(a, b):
     n = min(len(a), len(b))
     x, y = tensor(a[:n]), tensor(b[:n])
@@ -39,7 +40,7 @@ def test_add_commutative(a, b):
 
 
 @given(arrays(), arrays(), arrays())
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_mul_distributes_over_add(a, b, c):
     n = min(len(a), len(b), len(c))
     x, y, z = tensor(a[:n]), tensor(b[:n]), tensor(c[:n])
@@ -49,7 +50,7 @@ def test_mul_distributes_over_add(a, b, c):
 
 
 @given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 2**31 - 1))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_matmul_gradients_random_shapes(rows, inner, seed):
     rng = np.random.default_rng(seed)
     a = tensor(rng.standard_normal((rows, inner)), requires_grad=True)
@@ -58,7 +59,7 @@ def test_matmul_gradients_random_shapes(rows, inner, seed):
 
 
 @given(st.integers(2, 6), st.integers(0, 2**31 - 1))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_softmax_is_distribution(cols, seed):
     rng = np.random.default_rng(seed)
     out = softmax(tensor(rng.standard_normal((3, cols)))).numpy()
@@ -67,7 +68,7 @@ def test_softmax_is_distribution(cols, seed):
 
 
 @given(st.integers(2, 5), st.integers(0, 2**31 - 1))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_softmax_gradcheck_random(cols, seed):
     rng = np.random.default_rng(seed)
     x = tensor(rng.standard_normal((2, cols)), requires_grad=True)
@@ -75,7 +76,7 @@ def test_softmax_gradcheck_random(cols, seed):
 
 
 @given(st.integers(2, 6), st.integers(0, 2**31 - 1))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_log_softmax_upper_bound(cols, seed):
     rng = np.random.default_rng(seed)
     out = log_softmax(tensor(rng.standard_normal((3, cols)))).numpy()
@@ -83,7 +84,7 @@ def test_log_softmax_upper_bound(cols, seed):
 
 
 @given(st.integers(1, 4), st.integers(2, 8), st.integers(0, 2**31 - 1))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_segment_softmax_partition_of_unity(num_segments, num_edges, seed):
     rng = np.random.default_rng(seed)
     ids = rng.integers(0, num_segments, size=num_edges)
@@ -95,7 +96,7 @@ def test_segment_softmax_partition_of_unity(num_segments, num_edges, seed):
 
 
 @given(st.integers(0, 2**31 - 1), st.integers(1, 4))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_sum_reduction_gradients(seed, axis_count):
     rng = np.random.default_rng(seed)
     x = tensor(rng.standard_normal((3, 4)), requires_grad=True)
@@ -104,7 +105,7 @@ def test_sum_reduction_gradients(seed, axis_count):
 
 
 @given(st.integers(0, 2**31 - 1))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_take_rows_then_segment_sum_roundtrip(seed):
     """segment_sum(take_rows(x, idx), idx) counts row multiplicity."""
     rng = np.random.default_rng(seed)
@@ -117,7 +118,7 @@ def test_take_rows_then_segment_sum_roundtrip(seed):
 
 
 @given(st.integers(0, 2**31 - 1))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_exp_log_inverse(seed):
     rng = np.random.default_rng(seed)
     data = rng.uniform(0.1, 5.0, size=6)
@@ -126,7 +127,7 @@ def test_exp_log_inverse(seed):
 
 
 @given(st.integers(0, 2**31 - 1))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_reshape_preserves_sum_and_grad(seed):
     rng = np.random.default_rng(seed)
     x = tensor(rng.standard_normal(12), requires_grad=True)
@@ -137,7 +138,7 @@ def test_reshape_preserves_sum_and_grad(seed):
 
 
 @given(st.integers(2, 6), st.integers(1, 4), st.integers(0, 2**31 - 1))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_cross_entropy_gradcheck(classes, rows, seed):
     from repro.autograd import cross_entropy_with_logits
 
@@ -150,7 +151,7 @@ def test_cross_entropy_gradcheck(classes, rows, seed):
 
 
 @given(st.integers(1, 5), st.integers(0, 2**31 - 1))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_binary_cross_entropy_gradcheck(n, seed):
     from repro.autograd import binary_cross_entropy_with_logits
 
@@ -163,7 +164,7 @@ def test_binary_cross_entropy_gradcheck(n, seed):
 
 
 @given(st.integers(1, 6), st.integers(0, 2**31 - 1))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_kl_standard_normal_gradcheck_and_nonnegative(n, seed):
     from repro.autograd import kl_standard_normal
 
@@ -176,7 +177,7 @@ def test_kl_standard_normal_gradcheck_and_nonnegative(n, seed):
 
 
 @given(st.integers(2, 5), st.integers(2, 10), st.integers(0, 2**31 - 1))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_segment_mean_matches_numpy(num_segments, num_values, seed):
     from repro.autograd import segment_mean
 
@@ -191,7 +192,7 @@ def test_segment_mean_matches_numpy(num_segments, num_values, seed):
 
 
 @given(st.integers(1, 6), st.integers(0, 2**31 - 1))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_logsumexp_shift_invariance(n, seed):
     from repro.autograd import logsumexp
 
@@ -204,7 +205,7 @@ def test_logsumexp_shift_invariance(n, seed):
 
 
 @given(st.integers(1, 6), st.integers(0, 2**31 - 1))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_mse_gradcheck_and_zero_at_target(n, seed):
     from repro.autograd import mse
 

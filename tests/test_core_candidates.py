@@ -6,7 +6,7 @@ import dataclasses
 import numpy as np
 import pytest
 
-from repro.autograd import softmax, tensor
+from repro.autograd import tensor
 from repro.core import EgoGraphSampler, TGAEGenerator, TGAEModel, fast_config
 from repro.core.loss import candidate_reconstruction_loss, tgae_loss
 from repro.datasets import communication_network

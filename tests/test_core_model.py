@@ -1,7 +1,6 @@
 """Tests for TGAE encoder, decoder, and the combined model forward pass."""
 
 import numpy as np
-import pytest
 
 from repro.autograd import softmax
 from repro.core import EgoGraphDecoder, EgoGraphSampler, TGAEEncoder, TGAEModel, fast_config

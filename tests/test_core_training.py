@@ -12,7 +12,6 @@ from repro.core import (
 from repro.core.variants import VARIANTS
 from repro.datasets import communication_network
 from repro.errors import NotFittedError
-from repro.graph import TemporalGraph
 
 
 @pytest.fixture(scope="module")

@@ -2,8 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from strategies import SLOW_SETTINGS
 
 from repro.baselines import ErdosRenyiGenerator
 from repro.core import TGAEGenerator, UpscaledGenerator, expand_temporal_graph, fast_config
@@ -126,7 +128,7 @@ class TestUpscaledGenerator:
 
 class TestProperties:
     @given(st.integers(1, 5), st.integers(0, 2**16))
-    @settings(max_examples=40, deadline=None)
+    @SLOW_SETTINGS
     def test_scaling_invariants(self, factor, seed):
         g = small_graph(seed=seed % 7)
         big = expand_temporal_graph(g, factor, seed=seed)

@@ -23,7 +23,6 @@ from repro.datasets import (
 )
 from repro.errors import ConfigError, DatasetError
 from repro.graph import cumulative_snapshots
-from repro.metrics import power_law_exponent
 
 
 class TestRegistry:

@@ -2,8 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from strategies import SLOW_SETTINGS
 
 from repro.datasets import edge_holdout, temporal_split
 from repro.errors import GraphFormatError
@@ -84,7 +86,7 @@ class TestProperties:
         st.floats(0.1, 0.9),
         st.integers(0, 2**16),
     )
-    @settings(max_examples=50, deadline=None)
+    @SLOW_SETTINGS
     def test_temporal_split_partitions(self, fraction, seed):
         g = sample_graph(seed=seed % 5)
         train, test = temporal_split(g, fraction)
@@ -93,7 +95,7 @@ class TestProperties:
             assert train.t.max() < test.t.min()
 
     @given(st.floats(0.1, 0.9), st.integers(0, 2**16))
-    @settings(max_examples=50, deadline=None)
+    @SLOW_SETTINGS
     def test_edge_holdout_partitions(self, fraction, seed):
         g = sample_graph(seed=seed % 5)
         train, held = edge_holdout(g, fraction, seed=seed)

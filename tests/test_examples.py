@@ -5,7 +5,6 @@ the same scripts a new user runs first, so they must never rot.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -2,8 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from strategies import STANDARD_SETTINGS
 
 from repro.errors import GraphFormatError
 from repro.graph import (
@@ -301,19 +303,19 @@ def event_streams(draw, max_nodes=8, max_events=40):
 
 class TestProperties:
     @given(event_streams())
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_times_always_sorted(self, stream):
         assert np.all(np.diff(stream.times) >= 0)
 
     @given(event_streams(), st.integers(1, 10))
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_binning_preserves_event_count(self, stream, num_bins):
         g = stream.to_temporal_graph(num_bins)
         assert g.num_edges == stream.num_events
         assert g.num_timestamps == num_bins
 
     @given(event_streams(), st.integers(1, 10))
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_binning_is_monotone_in_time(self, stream, num_bins):
         if stream.num_events < 2:
             return
@@ -323,33 +325,33 @@ class TestProperties:
         assert np.all(np.diff(g.t) >= 0)
 
     @given(event_streams())
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_window_full_span_is_identity_minus_last(self, stream):
         lo, hi = stream.time_span
         w = stream.window(lo, hi + 1.0)
         assert w.num_events == stream.num_events
 
     @given(event_streams(), st.floats(-100.0, 100.0))
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_shift_preserves_gaps(self, stream, offset):
         before = inter_event_times(stream)
         after = inter_event_times(stream.shifted(offset))
         assert np.allclose(before, after)
 
     @given(event_streams())
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_merge_with_empty_is_identity(self, stream):
         empty = EventStream(stream.num_nodes, [], [], [])
         assert merge_streams(stream, empty) == stream
 
     @given(st.lists(st.floats(0.01, 100.0), min_size=2, max_size=50))
-    @settings(max_examples=80, deadline=None)
+    @STANDARD_SETTINGS
     def test_burstiness_bounded(self, gaps):
         b = burstiness(gaps)
         assert -1.0 <= b <= 1.0
 
     @given(st.lists(st.floats(0.01, 100.0), min_size=3, max_size=50))
-    @settings(max_examples=80, deadline=None)
+    @STANDARD_SETTINGS
     def test_memory_coefficient_bounded(self, gaps):
         m = memory_coefficient(gaps)
         assert -1.0 - 1e-9 <= m <= 1.0 + 1e-9

@@ -1,6 +1,5 @@
 """Tests for edge-list persistence."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphFormatError

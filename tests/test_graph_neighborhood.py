@@ -1,7 +1,5 @@
 """Tests for temporal neighbourhood queries (Definition 3)."""
 
-import numpy as np
-
 from repro.graph import (
     TemporalGraph,
     first_order_neighbors,

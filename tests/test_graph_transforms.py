@@ -2,8 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from strategies import SLOW_SETTINGS
 
 from repro.errors import GraphFormatError
 from repro.graph import (
@@ -253,7 +255,7 @@ def temporal_graphs(draw, max_nodes=10, max_edges=40, max_t=5):
 
 class TestProperties:
     @given(temporal_graphs(), st.integers(0, 2**16))
-    @settings(max_examples=50, deadline=None)
+    @SLOW_SETTINGS
     def test_shuffle_preserves_edge_multiset(self, g, seed):
         shuffled = shuffle_timestamps(g, seed=seed)
         assert sorted(zip(shuffled.src.tolist(), shuffled.dst.tolist())) == sorted(
@@ -262,7 +264,7 @@ class TestProperties:
         assert np.array_equal(np.sort(shuffled.t), np.sort(g.t))
 
     @given(temporal_graphs(), st.integers(0, 2**16))
-    @settings(max_examples=40, deadline=None)
+    @SLOW_SETTINGS
     def test_rewire_preserves_total_degrees(self, g, seed):
         rewired = rewire_degree_preserving(g, seed=seed)
         assert np.array_equal(
@@ -275,12 +277,12 @@ class TestProperties:
         )
 
     @given(temporal_graphs())
-    @settings(max_examples=50, deadline=None)
+    @SLOW_SETTINGS
     def test_reverse_time_involution(self, g):
         assert reverse_time(reverse_time(g)) == g
 
     @given(temporal_graphs(), st.integers(0, 2**16))
-    @settings(max_examples=40, deadline=None)
+    @SLOW_SETTINGS
     def test_relabel_roundtrip(self, g, seed):
         rng = np.random.default_rng(seed)
         perm = rng.permutation(g.num_nodes)

@@ -1,7 +1,5 @@
 """Tests for the generated-graph validation report."""
 
-import numpy as np
-import pytest
 
 from repro.graph import TemporalGraph, validate_generated
 

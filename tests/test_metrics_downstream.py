@@ -2,8 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from strategies import STANDARD_SETTINGS
 
 from repro.errors import GraphFormatError
 from repro.graph import TemporalGraph
@@ -162,13 +164,13 @@ class TestProperties:
         st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=30),
         st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=30),
     )
-    @settings(max_examples=80, deadline=None)
+    @STANDARD_SETTINGS
     def test_auc_bounded_and_antisymmetric(self, pos, neg):
         auc = roc_auc(pos, neg)
         assert 0.0 <= auc <= 1.0
         assert roc_auc(neg, pos) == pytest.approx(1.0 - auc)
 
     @given(st.lists(st.floats(0, 100, allow_nan=False), min_size=2, max_size=30))
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_auc_self_comparison_half(self, scores):
         assert roc_auc(scores, scores) == pytest.approx(0.5)

@@ -2,8 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from strategies import QUICK_SETTINGS
 
 from repro.errors import ShapeError
 from repro.metrics import gaussian_tv_kernel, mmd_squared, motif_mmd, total_variation
@@ -85,7 +87,7 @@ class TestMMD:
 
 
 @given(st.lists(st.floats(0.01, 10.0), min_size=2, max_size=8), st.integers(0, 10**6))
-@settings(max_examples=30, deadline=None)
+@QUICK_SETTINGS
 def test_mmd_self_zero_property(values, _seed):
     p = dist(values)
     assert motif_mmd(p, p) == pytest.approx(0.0, abs=1e-12)
@@ -95,7 +97,7 @@ def test_mmd_self_zero_property(values, _seed):
     st.lists(st.floats(0.01, 10.0), min_size=3, max_size=3),
     st.lists(st.floats(0.01, 10.0), min_size=3, max_size=3),
 )
-@settings(max_examples=30, deadline=None)
+@QUICK_SETTINGS
 def test_tv_triangle_inequality(a, b):
     p, q = dist(a), dist(b)
     r = dist(np.ones(3))

@@ -2,8 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from strategies import SLOW_SETTINGS, STANDARD_SETTINGS
 
 from repro.graph.snapshot import Snapshot
 from repro.metrics import (
@@ -124,7 +126,7 @@ def snapshots(draw, max_nodes=12, max_edges=40):
 
 class TestProperties:
     @given(snapshots())
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_laplacian_spectrum_bounded(self, snap):
         spec = laplacian_spectrum(snap, k=6)
         if spec.size:
@@ -132,12 +134,12 @@ class TestProperties:
             assert np.all(spec <= 2.0 + 1e-9)
 
     @given(snapshots())
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_gap_nonnegative(self, snap):
         assert spectral_gap(snap) >= 0.0
 
     @given(snapshots(), snapshots())
-    @settings(max_examples=40, deadline=None)
+    @SLOW_SETTINGS
     def test_distance_symmetric_nonnegative(self, a, b):
         d = spectral_distance(a, b)
         assert d >= 0.0

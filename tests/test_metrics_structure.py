@@ -2,8 +2,10 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from strategies import STANDARD_SETTINGS
 
 from repro.graph.snapshot import Snapshot
 from repro.metrics import (
@@ -184,33 +186,33 @@ def snapshots(draw, max_nodes=10, max_edges=30):
 
 class TestProperties:
     @given(snapshots())
-    @settings(max_examples=80, deadline=None)
+    @STANDARD_SETTINGS
     def test_clustering_bounded(self, snap):
         assert 0.0 <= global_clustering(snap) <= 1.0 + 1e-9
         assert 0.0 <= average_local_clustering(snap) <= 1.0 + 1e-9
 
     @given(snapshots())
-    @settings(max_examples=80, deadline=None)
+    @STANDARD_SETTINGS
     def test_reciprocity_bounded(self, snap):
         assert 0.0 <= reciprocity(snap) <= 1.0
 
     @given(snapshots())
-    @settings(max_examples=80, deadline=None)
+    @STANDARD_SETTINGS
     def test_density_bounded(self, snap):
         assert 0.0 <= density(snap) <= 1.0 + 1e-9
 
     @given(snapshots())
-    @settings(max_examples=80, deadline=None)
+    @STANDARD_SETTINGS
     def test_assortativity_bounded(self, snap):
         assert -1.0 - 1e-9 <= degree_assortativity(snap) <= 1.0 + 1e-9
 
     @given(snapshots())
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_ks_self_distance_zero(self, snap):
         assert degree_ks_distance(snap, snap) == 0.0
 
     @given(snapshots(), snapshots())
-    @settings(max_examples=60, deadline=None)
+    @STANDARD_SETTINGS
     def test_ks_bounded_and_symmetric(self, a, b):
         d = degree_ks_distance(a, b)
         assert 0.0 <= d <= 1.0

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor, tensor
+from repro.autograd import tensor
 from repro.errors import ConfigError
 from repro.nn import (
     MLP,

@@ -1,8 +1,10 @@
 """Property-based tests (hypothesis) over the graph substrate and generators."""
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
+
+from strategies import QUICK_SETTINGS
 
 from repro.graph import (
     TemporalGraph,
@@ -14,7 +16,6 @@ from repro.graph import (
 )
 from repro.metrics import compare_graphs, total_variation
 
-SETTINGS = dict(max_examples=20, deadline=None)
 
 
 @st.composite
@@ -31,7 +32,7 @@ def temporal_graphs(draw, max_nodes=15, max_edges=40, max_t=6):
 
 
 @given(temporal_graphs())
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_snapshot_accumulation_monotone(graph):
     snaps = cumulative_snapshots(graph)
     counts = [s.num_edges for s in snaps]
@@ -40,13 +41,13 @@ def test_snapshot_accumulation_monotone(graph):
 
 
 @given(temporal_graphs())
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_temporal_degrees_sum_rule(graph):
     assert graph.temporal_degrees().sum() == 2 * graph.num_edges
 
 
 @given(temporal_graphs())
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_initial_probabilities_valid(graph):
     probs = initial_node_probabilities(graph)
     assert np.all(probs >= 0)
@@ -57,7 +58,7 @@ def test_initial_probabilities_valid(graph):
 
 
 @given(temporal_graphs(), st.integers(1, 3), st.integers(1, 8))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_ego_batch_layer_sizes_bounded(graph, radius, threshold):
     rng = np.random.default_rng(0)
     centers = sample_initial_nodes(graph, 3, rng)
@@ -71,7 +72,7 @@ def test_ego_batch_layer_sizes_bounded(graph, radius, threshold):
 
 
 @given(temporal_graphs(), st.integers(1, 3))
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_bipartite_nesting_invariant(graph, radius):
     rng = np.random.default_rng(1)
     centers = sample_initial_nodes(graph, 4, rng)
@@ -88,13 +89,13 @@ def test_bipartite_nesting_invariant(graph, radius):
 
 
 @given(temporal_graphs())
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_compare_identity_zero(graph):
     assert all(v == 0.0 for v in compare_graphs(graph, graph.copy()).values())
 
 
 @given(temporal_graphs())
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_restriction_then_snapshot_consistency(graph):
     cut = graph.num_timestamps // 2
     restricted = graph.restricted_to(cut)
@@ -106,7 +107,7 @@ def test_restriction_then_snapshot_consistency(graph):
     st.lists(st.floats(0.0, 1.0), min_size=3, max_size=6),
     st.lists(st.floats(0.0, 1.0), min_size=3, max_size=6),
 )
-@settings(**SETTINGS)
+@QUICK_SETTINGS
 def test_tv_bounded_by_one(a, b):
     n = min(len(a), len(b))
     p = np.asarray(a[:n]) + 1e-9
@@ -117,7 +118,7 @@ def test_tv_bounded_by_one(a, b):
 
 
 @given(temporal_graphs(max_nodes=10, max_edges=25, max_t=4), st.integers(0, 99))
-@settings(max_examples=10, deadline=None)
+@QUICK_SETTINGS
 def test_er_baseline_generation_invariants(graph, seed):
     """Generator-output contract holds for arbitrary observed graphs."""
     from repro.baselines import ErdosRenyiGenerator
