@@ -4,7 +4,14 @@ Three sweeps (nodes, timestamps, density) at a reduced base scale.  Prints
 the log-time and log-memory tables matching the paper's six panels, and
 asserts the headline growth shape: the dense auto-encoder family's memory
 grows super-linearly in node count while TGAE stays near-linear.
+
+A fourth benchmark compares TGAE's own dense decoder against the streaming
+sampled-softmax engine at a larger node count than the sweeps reach --
+the dense-vs-O(E + n*C) comparison behind the engine refactor.
 """
+
+import time
+import tracemalloc
 
 import numpy as np
 
@@ -15,16 +22,20 @@ from repro.baselines import (
     VGAEGenerator,
 )
 from repro.bench import render_sweep, sweep
-from repro.core import fast_config
+from repro.core import TGAEGenerator, fast_config
 from repro.core.variants import tgae_full
 from repro.datasets import (
     density_scale_sweep,
     node_scale_sweep,
     timestamp_scale_sweep,
 )
+from repro.datasets.scalability import ScalabilityPoint, make_scalability_graph
 
 BASE_NODES = 120
 STEPS = 3
+
+#: The dense-vs-streaming point sits well above the sweep grid's largest n.
+STREAMING_NODES = 1200
 
 
 def _methods():
@@ -77,3 +88,45 @@ def bench_fig6_density_scale(benchmark):
     for name, series in results.items():
         times = [m.inference_seconds for m in series]
         assert all(np.isfinite(times)), name
+
+
+def bench_fig6_streaming_vs_dense(benchmark):
+    """TGAE dense decoder vs streaming engine at a larger node count.
+
+    Both configurations fit their own model (sampled-softmax training for
+    the streaming one), then only the *generation* phase is traced: the
+    dense path decodes full ``num_nodes``-wide rows while the streaming
+    path samples within O(C)-wide candidate sets, so its generation peak
+    must not exceed the dense path's.
+    """
+    point = ScalabilityPoint(STREAMING_NODES, 4, 0.002)
+    observed = make_scalability_graph(point)
+    base = dict(epochs=2, num_initial_nodes=32, neighbor_threshold=6)
+
+    def measure(config):
+        start = time.perf_counter()
+        generator = TGAEGenerator(config).fit(observed)
+        fit_seconds = time.perf_counter() - start
+        tracemalloc.start()
+        start = time.perf_counter()
+        generated = generator.generate(seed=0)
+        generate_seconds = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return generated, peak, fit_seconds, generate_seconds
+
+    def compare():
+        return (
+            measure(fast_config(**base)),
+            measure(fast_config(**base, candidate_limit=32)),
+        )
+
+    dense, streaming = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print(f"\n=== Figure 6 extension: n={point.num_nodes} ({point.label}) ===")
+    for name, (generated, peak, fit_s, gen_s) in (("dense", dense), ("streaming", streaming)):
+        print(
+            f"{name:9s} generate peak={peak / 1e6:8.1f} MB "
+            f"fit={fit_s:6.2f}s generate={gen_s:6.2f}s"
+        )
+        assert generated.num_edges == observed.num_edges
+    assert streaming[1] <= dense[1]

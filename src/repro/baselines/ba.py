@@ -26,9 +26,7 @@ class BarabasiAlbertGenerator(PerSnapshotGenerator):
         # Degree accumulator shared across generated timestamps.
         self._gen_degree = None
 
-    def _fit_snapshot(
-        self, num_nodes: int, timestamp: int, src: np.ndarray, dst: np.ndarray
-    ) -> object:
+    def _fit_snapshot(self, num_nodes: int, timestamp: int, snapshot) -> object:
         return None
 
     def _generate(self, seed):  # type: ignore[override]

@@ -17,35 +17,57 @@ faithful to that behaviour).
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
+import scipy.sparse as sp
 
 from ..autograd import Tensor
 from ..base import TemporalGraphGenerator
+from ..graph.snapshot import Snapshot
 from ..graph.temporal_graph import TemporalGraph
 from ..nn import Module, Parameter
 from ..nn import init as nn_init
 
 
-def normalized_adjacency(adj: np.ndarray) -> np.ndarray:
-    """Symmetric normalisation ``D^{-1/2} (A + I) D^{-1/2}`` (Kipf & Welling)."""
+def snapshot_dense_adjacency(
+    num_nodes: int, src: np.ndarray, dst: np.ndarray, symmetric: bool = True
+) -> np.ndarray:
+    """Dense snapshot adjacency via the shared ``Snapshot`` CSR builder.
+
+    Debug/test helper for raw edge arrays (deduplicated binary, self-loops
+    dropped, optionally symmetrised).  Production baselines fitting on a
+    :class:`TemporalGraph` read ``self.observed.snapshot_view(t)`` instead,
+    so the graph-level snapshot cache is shared, and densify only at their
+    own model boundary.
+    """
+    snapshot = Snapshot(num_nodes, src, dst)
+    if symmetric:
+        return snapshot.undirected_adjacency().toarray()
+    adj = snapshot.adjacency().copy()
+    adj.setdiag(0)
+    adj.eliminate_zeros()
+    return adj.toarray()
+
+
+def normalized_adjacency(adj: Union[np.ndarray, sp.spmatrix]) -> np.ndarray:
+    """Symmetric normalisation ``D^{-1/2} (A + I) D^{-1/2}`` (Kipf & Welling).
+
+    Accepts a dense array or any scipy sparse matrix; the normalisation runs
+    in the input's representation and the result is returned dense, since it
+    feeds the dense GCN propagation of :class:`GCNLayer`.
+    """
+    if sp.issparse(adj):
+        n = adj.shape[0]
+        a_hat = (adj + sp.identity(n, format="csr")).tocsr()
+        degree = np.asarray(a_hat.sum(axis=1)).reshape(-1)
+        d_inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+        normed = a_hat.multiply(d_inv_sqrt[:, None]).multiply(d_inv_sqrt[None, :])
+        return np.asarray(normed.todense())
     a_hat = adj + np.eye(adj.shape[0])
     degree = a_hat.sum(axis=1)
     d_inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
     return a_hat * d_inv_sqrt[:, None] * d_inv_sqrt[None, :]
-
-
-def snapshot_dense_adjacency(
-    num_nodes: int, src: np.ndarray, dst: np.ndarray, symmetric: bool = True
-) -> np.ndarray:
-    """Dense binary adjacency of one snapshot (baseline-scale graphs only)."""
-    adj = np.zeros((num_nodes, num_nodes), dtype=np.float64)
-    adj[src, dst] = 1.0
-    if symmetric:
-        adj = np.maximum(adj, adj.T)
-    np.fill_diagonal(adj, 0.0)
-    return adj
 
 
 class GCNLayer(Module):
@@ -118,10 +140,14 @@ class PerSnapshotGenerator(TemporalGraphGenerator):
     def _fit(self, graph: TemporalGraph) -> None:
         self._edge_counts = []
         self._snapshot_states: List[object] = []
-        for timestamp, src, dst in graph.snapshots():
-            self._edge_counts.append(int(src.size))
+        for timestamp in range(graph.num_timestamps):
+            # The graph's cached snapshot view: edge slices and any CSR
+            # built on them are shared with every other consumer of the
+            # same observed graph, e.g. other baselines in one bench run.
+            snapshot = graph.snapshot_view(timestamp)
+            self._edge_counts.append(snapshot.num_edges)
             self._snapshot_states.append(
-                self._fit_snapshot(graph.num_nodes, timestamp, src, dst)
+                self._fit_snapshot(graph.num_nodes, timestamp, snapshot)
             )
 
     def _generate(self, seed: Optional[int]) -> TemporalGraph:
@@ -149,9 +175,15 @@ class PerSnapshotGenerator(TemporalGraphGenerator):
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def _fit_snapshot(
-        self, num_nodes: int, timestamp: int, src: np.ndarray, dst: np.ndarray
+        self, num_nodes: int, timestamp: int, snapshot: Snapshot
     ) -> object:
-        """Learn from one snapshot; returns an opaque per-snapshot state."""
+        """Learn from one snapshot; returns an opaque per-snapshot state.
+
+        ``snapshot`` is the observed graph's *cached*
+        :class:`~repro.graph.snapshot.Snapshot` view of this timestamp: its
+        edge arrays and CSR adjacency are the single source of truth, shared
+        with every other consumer of the same graph.
+        """
 
     @abc.abstractmethod
     def _sample_snapshot(

@@ -20,9 +20,7 @@ class ErdosRenyiGenerator(PerSnapshotGenerator):
 
     name = "E-R"
 
-    def _fit_snapshot(
-        self, num_nodes: int, timestamp: int, src: np.ndarray, dst: np.ndarray
-    ) -> object:
+    def _fit_snapshot(self, num_nodes: int, timestamp: int, snapshot) -> object:
         # G(n, m) has no parameters beyond the edge count, which the adapter
         # already records.
         return None

@@ -23,7 +23,6 @@ from .common import (
     PerSnapshotGenerator,
     normalized_adjacency,
     sample_edges_from_scores,
-    snapshot_dense_adjacency,
 )
 
 
@@ -88,16 +87,15 @@ class GraphiteGenerator(PerSnapshotGenerator):
         self.refine_steps = refine_steps
         self.seed = seed
 
-    def _fit_snapshot(
-        self, num_nodes: int, timestamp: int, src: np.ndarray, dst: np.ndarray
-    ) -> object:
+    def _fit_snapshot(self, num_nodes: int, timestamp: int, snapshot) -> object:
         rng = np.random.default_rng(self.seed + 1000 + timestamp)
-        adj = snapshot_dense_adjacency(num_nodes, src, dst)
-        a_hat = Tensor(normalized_adjacency(adj))
+        adj_sparse = snapshot.undirected_adjacency()
+        a_hat = Tensor(normalized_adjacency(adj_sparse))
+        adj = adj_sparse.toarray()
         model = _GraphiteModel(
             num_nodes, self.hidden_dim, self.latent_dim, rng, refine_steps=self.refine_steps
         )
-        if src.size:
+        if snapshot.num_edges:
             optimizer = Adam(model.parameters(), lr=self.learning_rate)
             pos = adj.sum()
             weight = np.where(adj > 0, (num_nodes * num_nodes - pos) / max(pos, 1.0), 1.0)

@@ -93,12 +93,10 @@ class NetGANGenerator(PerSnapshotGenerator):
         self.learning_rate = learning_rate
         self.seed = seed
 
-    def _fit_snapshot(
-        self, num_nodes: int, timestamp: int, src: np.ndarray, dst: np.ndarray
-    ) -> object:
+    def _fit_snapshot(self, num_nodes: int, timestamp: int, snapshot) -> object:
         rng = np.random.default_rng(self.seed + 3000 + timestamp)
         walks = _sample_static_walks(
-            num_nodes, src, dst, self.num_walks, self.walk_length, rng
+            num_nodes, snapshot.src, snapshot.dst, self.num_walks, self.walk_length, rng
         )
         if not walks:
             return np.ones((num_nodes, num_nodes))

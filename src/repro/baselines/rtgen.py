@@ -24,11 +24,9 @@ class RTGenGenerator(PerSnapshotGenerator):
 
     name = "RTGEN"
 
-    def _fit_snapshot(
-        self, num_nodes: int, timestamp: int, src: np.ndarray, dst: np.ndarray
-    ) -> object:
-        out_degree = np.bincount(src, minlength=num_nodes).astype(np.float64)
-        in_degree = np.bincount(dst, minlength=num_nodes).astype(np.float64)
+    def _fit_snapshot(self, num_nodes: int, timestamp: int, snapshot) -> object:
+        out_degree = np.bincount(snapshot.src, minlength=num_nodes).astype(np.float64)
+        in_degree = np.bincount(snapshot.dst, minlength=num_nodes).astype(np.float64)
         return out_degree, in_degree
 
     def _sample_snapshot(

@@ -22,7 +22,6 @@ from .common import (
     PerSnapshotGenerator,
     normalized_adjacency,
     sample_edges_from_scores,
-    snapshot_dense_adjacency,
 )
 
 
@@ -74,14 +73,16 @@ class VGAEGenerator(PerSnapshotGenerator):
         self.learning_rate = learning_rate
         self.seed = seed
 
-    def _fit_snapshot(
-        self, num_nodes: int, timestamp: int, src: np.ndarray, dst: np.ndarray
-    ) -> object:
+    def _fit_snapshot(self, num_nodes: int, timestamp: int, snapshot) -> object:
         rng = np.random.default_rng(self.seed + timestamp)
-        adj = snapshot_dense_adjacency(num_nodes, src, dst)
-        a_hat = Tensor(normalized_adjacency(adj))
+        # The snapshot's cached CSR (shared with metrics and the other GCN
+        # baselines fitting on the same graph); densified only at the model
+        # boundary (dense GCN + dense BCE target).
+        adj_sparse = snapshot.undirected_adjacency()
+        a_hat = Tensor(normalized_adjacency(adj_sparse))
+        adj = adj_sparse.toarray()
         model = _VGAEModel(num_nodes, self.hidden_dim, self.latent_dim, rng)
-        if src.size:
+        if snapshot.num_edges:
             optimizer = Adam(model.parameters(), lr=self.learning_rate)
             # Class-balanced BCE: positives are rare in sparse snapshots.
             pos = adj.sum()

@@ -86,6 +86,14 @@ def _add_config(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--initial-nodes", type=int, default=64)
     parser.add_argument("--learning-rate", type=float, default=1e-2)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--candidate-limit",
+        type=int,
+        default=0,
+        help="candidate-set size C for the streaming sampled-softmax engine "
+        "(0 = exact dense decoder; positive values keep fit+generate at "
+        "O(E + n*C) memory for large graphs)",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> TGAEConfig:
@@ -96,6 +104,7 @@ def _config_from(args: argparse.Namespace) -> TGAEConfig:
         num_initial_nodes=args.initial_nodes,
         learning_rate=args.learning_rate,
         seed=args.seed,
+        candidate_limit=args.candidate_limit,
     )
 
 

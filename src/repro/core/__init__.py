@@ -3,6 +3,13 @@
 from .config import NO_TRUNCATION, TGAEConfig, fast_config
 from .decoder import DecoderOutput, EgoGraphDecoder
 from .encoder import TGAEEncoder
+from .engine import (
+    GenerationEngine,
+    TopKScores,
+    active_temporal_nodes,
+    sample_rows_without_replacement,
+    sample_without_replacement,
+)
 from .generator import TGAEGenerator
 from .persistence import load_generator, save_generator
 from .loss import adjacency_target_rows, reconstruction_loss, tgae_loss
@@ -31,6 +38,11 @@ __all__ = [
     "reconstruction_loss",
     "adjacency_target_rows",
     "TGAEGenerator",
+    "GenerationEngine",
+    "TopKScores",
+    "active_temporal_nodes",
+    "sample_rows_without_replacement",
+    "sample_without_replacement",
     "VARIANTS",
     "tgae_full",
     "tgae_g",

@@ -1,0 +1,539 @@
+"""Streaming O(E) generation engine (Sec. IV-G without the dense wall).
+
+:class:`GenerationEngine` implements the paper's assembling procedure with a
+memory model of O(E + n*C) instead of O(T * n^2):
+
+* active temporal nodes, their out-degree budgets ``d(u, t)`` and distinct
+  target counts ``k(u, t)`` come from one vectorised group-by over the edge
+  arrays -- no ``(n, T)`` scratch tensors;
+* candidate pools are assembled in batch from the graph's cached
+  :meth:`~repro.graph.temporal_graph.TemporalGraph.out_partner_groups` CSR
+  slices (historical partners + uniform negatives), padded with extra
+  distinct negatives whenever a row's pool would under-fill its distinct
+  target count;
+* edges are sampled *within* the candidate sets (masked Gumbel top-k over
+  the ``(chunk, C)`` decoded probabilities) -- the old scatter into full
+  ``(chunk, num_nodes)`` rows is gone;
+* :meth:`GenerationEngine.score_topk` replaces the dense score matrix with
+  chunked sparse ``(row, col, score)`` triples.
+
+The dense decoding path (``candidate_limit == 0``) is bit-for-bit identical
+to the pre-engine generator: same RNG consumption, same draws, same graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..autograd import no_grad, softmax
+from ..errors import GenerationError
+from ..graph.temporal_graph import TemporalGraph
+from .config import TGAEConfig
+from .model import TGAEModel
+from .sampler import EgoGraphSampler
+
+#: Rejection-sampling rounds before the exact set-difference fallback when
+#: padding a deficient candidate row with distinct negatives.
+_PAD_ATTEMPTS = 8
+
+
+def sample_rows_without_replacement(
+    probs: np.ndarray,
+    counts: np.ndarray,
+    rng: np.random.Generator,
+    forbid: Optional[np.ndarray] = None,
+    allowed: Optional[np.ndarray] = None,
+) -> List[np.ndarray]:
+    """Row-batched sampling without replacement via vectorised Gumbel top-k.
+
+    Draws ``counts[i]`` distinct column indices from the categorical
+    distribution ``probs[i]`` for every row ``i`` in one vectorised pass
+    (one Gumbel perturbation + one argsort over the whole matrix), instead
+    of one NumPy round-trip per row.
+
+    Parameters
+    ----------
+    probs:
+        ``(rows, n)`` non-negative weights; rows need not be normalised
+        (Gumbel top-k is invariant to per-row scaling).
+    counts:
+        ``(rows,)`` number of distinct draws requested per row; clipped to
+        the number of columns with positive allowed mass.
+    forbid:
+        Optional ``(rows,)`` column index excluded per row (no self-loop
+        edges during generation).
+    allowed:
+        Optional ``(rows, n)`` boolean mask; ``False`` columns are excluded.
+        This is how the streaming engine masks duplicate candidate slots
+        and self-loops when sampling within candidate sets.
+
+    A row whose entire mass sits on forbidden/zero entries falls back to
+    uniform sampling over the allowed columns; if no allowed column remains
+    at all (e.g. a single-node universe whose only column is forbidden) the
+    row yields an empty draw rather than dividing by zero or returning the
+    forbidden index.
+    """
+    p = np.asarray(probs, dtype=np.float64).copy()
+    if p.ndim != 2:
+        raise GenerationError(f"probs must be 2-D, got shape {p.shape}")
+    rows, _ = p.shape
+    row_ids = np.arange(rows)
+    if forbid is not None:
+        forbid = np.asarray(forbid, dtype=np.int64)
+        p[row_ids, forbid] = 0.0
+    if allowed is not None:
+        p[~allowed] = 0.0
+    totals = p.sum(axis=1)
+    degenerate = totals <= 0
+    if degenerate.any():
+        # Degenerate rows: fall back to uniform over allowed entries.
+        p[degenerate] = 1.0
+        if forbid is not None:
+            p[row_ids[degenerate], forbid[degenerate]] = 0.0
+        if allowed is not None:
+            p[~allowed] = 0.0
+    positive = p > 0
+    counts = np.minimum(
+        np.asarray(counts, dtype=np.int64), positive.sum(axis=1)
+    ).clip(min=0)
+    gumbel = -np.log(-np.log(rng.random(p.shape) + 1e-300) + 1e-300)
+    with np.errstate(divide="ignore"):
+        keys = np.where(positive, np.log(np.where(positive, p, 1.0)) + gumbel, -np.inf)
+    max_k = int(counts.max()) if counts.size else 0
+    if max_k == 0:
+        return [np.array([], dtype=np.int64) for _ in range(rows)]
+    n = p.shape[1]
+    if max_k < n:
+        # Top-max_k per row in linear time, then sort only those columns so
+        # each row's first counts[i] entries are its true top keys.
+        top = np.argpartition(-keys, max_k - 1, axis=1)[:, :max_k]
+        within = np.argsort(-np.take_along_axis(keys, top, axis=1), axis=1)
+        order = np.take_along_axis(top, within, axis=1)
+    else:
+        order = np.argsort(-keys, axis=1)
+    return [order[i, : counts[i]].astype(np.int64) for i in range(rows)]
+
+
+def sample_without_replacement(
+    probs: np.ndarray, count: int, rng: np.random.Generator, forbid: Optional[int] = None
+) -> np.ndarray:
+    """Draw ``count`` distinct indices from one categorical via Gumbel top-k.
+
+    Single-row convenience wrapper around
+    :func:`sample_rows_without_replacement`, inheriting its degenerate-row
+    guarantees (uniform fallback; empty draw when every entry is forbidden).
+    """
+    rows = sample_rows_without_replacement(
+        np.asarray(probs, dtype=np.float64)[None, :],
+        np.array([count], dtype=np.int64),
+        rng,
+        forbid=None if forbid is None else np.array([forbid], dtype=np.int64),
+    )
+    return rows[0]
+
+
+def distinct_allowed_mask(
+    candidates: np.ndarray, forbid_nodes: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Boolean mask of the usable slots in per-row candidate sets.
+
+    A slot is usable when it holds the *first* occurrence of its node id in
+    the row (duplicate negatives collapse to one slot, so a node can never
+    be drawn twice through two slots) and, when ``forbid_nodes`` is given,
+    the node differs from the row's centre (no self-loops).
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    order = np.argsort(candidates, axis=1, kind="stable")
+    sorted_c = np.take_along_axis(candidates, order, axis=1)
+    dup_sorted = np.zeros(candidates.shape, dtype=bool)
+    dup_sorted[:, 1:] = sorted_c[:, 1:] == sorted_c[:, :-1]
+    dup = np.empty_like(dup_sorted)
+    np.put_along_axis(dup, order, dup_sorted, axis=1)
+    allowed = ~dup
+    if forbid_nodes is not None:
+        allowed &= candidates != np.asarray(forbid_nodes, dtype=np.int64)[:, None]
+    return allowed
+
+
+def fold_duplicate_mass(candidates: np.ndarray, probs: np.ndarray) -> np.ndarray:
+    """Sum each row's duplicate-slot probabilities onto the first occurrence.
+
+    The softmax over a candidate row normalises across *slots*; when uniform
+    negatives collide with partners (or each other) the same node holds mass
+    in several slots.  This folds that mass onto the node's first slot and
+    zeroes the rest -- exactly the semantics of the old scatter-into-full-rows
+    path, where ``np.add.at`` summed duplicate contributions -- so each row
+    stays a proper distribution over its distinct candidates.
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    rows, width = candidates.shape
+    flat = np.asarray(probs, dtype=np.float64).reshape(-1)
+    keys = (
+        np.arange(rows, dtype=np.int64)[:, None] * np.int64(candidates.max() + 1)
+        + candidates
+    ).reshape(-1)
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    sums = np.bincount(inverse, weights=flat)
+    first = np.full(uniq.size, flat.size, dtype=np.int64)
+    np.minimum.at(first, inverse, np.arange(flat.size))
+    folded = np.zeros_like(flat)
+    folded[first] = sums
+    return folded.reshape(rows, width)
+
+
+def active_temporal_nodes(
+    graph: TemporalGraph,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Active centres with out-degree and distinct-target budgets, in O(E).
+
+    Returns ``(centers, degrees, distinct_counts)`` where ``centers`` is the
+    ``(rows, 2)`` array of active ``(u, t)`` pairs sorted ascending (the
+    same order the dense ``np.nonzero`` scan used to produce), ``degrees``
+    the observed out-degree ``d(u, t)`` and ``distinct_counts`` the number
+    of distinct targets ``k(u, t)``.  No ``(n, T)`` scratch array is built.
+    """
+    if graph.num_edges == 0:
+        raise GenerationError("observed graph has no edges to imitate")
+    T = np.int64(graph.num_timestamps)
+    pair_keys = graph.src * T + graph.t
+    uniq_keys, degrees = np.unique(pair_keys, return_counts=True)
+    unique_triples = np.unique(
+        np.stack([graph.src, graph.t, graph.dst], axis=1), axis=0
+    )
+    distinct_keys = unique_triples[:, 0] * T + unique_triples[:, 1]
+    _, distinct_counts = np.unique(distinct_keys, return_counts=True)
+    centers = np.stack([uniq_keys // T, uniq_keys % T], axis=1)
+    return centers, degrees.astype(np.int64), distinct_counts.astype(np.int64)
+
+
+@dataclass
+class TopKScores:
+    """Sparse top-k decoded scores: parallel ``(node, timestamp, target, score)``.
+
+    The streaming replacement for the dense ``(n, T, n)`` score matrix:
+    entry ``i`` says the decoded edge distribution of centre
+    ``(node[i], timestamp[i])`` puts probability ``score[i]`` on target
+    ``target[i]``, and only the top ``k`` targets per centre are kept.
+    """
+
+    node: np.ndarray
+    timestamp: np.ndarray
+    target: np.ndarray
+    score: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored triples."""
+        return int(self.node.size)
+
+
+class GenerationEngine:
+    """Streaming Sec. IV-G assembler over a fitted :class:`TGAEModel`.
+
+    Parameters
+    ----------
+    model:
+        The fitted TGAE model (encoder + decoder).
+    graph:
+        The observed temporal graph whose edge budgets are imitated.
+    config:
+        The generator's hyper-parameters; ``candidate_limit > 0`` selects
+        the streaming sampled-softmax path, ``0`` the exact dense decoder.
+    """
+
+    def __init__(
+        self, model: TGAEModel, graph: TemporalGraph, config: TGAEConfig
+    ) -> None:
+        self.model = model
+        self.graph = graph
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Candidate assembly (vectorised)
+    # ------------------------------------------------------------------
+    def candidate_batch(
+        self,
+        centers: np.ndarray,
+        rng: np.random.Generator,
+        min_distinct: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Batched candidate sets: historical partners + uniform negatives.
+
+        One vectorised gather from the graph's cached partner CSR replaces
+        the old per-row python loop: every row starts with (up to ``width``)
+        of its centre's distinct historical out-partners and is completed
+        with uniform negatives drawn in a single batched call.
+
+        When ``min_distinct`` is given, the row width grows to
+        ``max(candidate_limit, min_distinct.max() + 1)`` and any row whose
+        distinct usable slots (first occurrences, centre excluded) still
+        fall short of its requirement is padded with extra *distinct*
+        uniform negatives -- the fix for the silent under-fill degenerate
+        case where a small pool produced fewer targets than observed.
+        """
+        return self.candidates_with_mask(centers, rng, min_distinct=min_distinct)[0]
+
+    def candidates_with_mask(
+        self,
+        centers: np.ndarray,
+        rng: np.random.Generator,
+        min_distinct: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`candidate_batch` plus its usable-slot mask, computed once.
+
+        Returns ``(candidates, allowed)`` where ``allowed`` is the
+        :func:`distinct_allowed_mask` of the final candidate array with the
+        centres forbidden -- the mask the sampler needs, produced as a
+        by-product of the padding pass instead of being recomputed.
+        """
+        limit = max(self.config.candidate_limit, 1)
+        n = self.graph.num_nodes
+        nodes = np.asarray(centers[:, 0], dtype=np.int64)
+        rows = nodes.size
+        width = limit
+        needed: Optional[np.ndarray] = None
+        if min_distinct is not None:
+            needed = np.minimum(np.asarray(min_distinct, dtype=np.int64), n - 1)
+            width = max(limit, int(needed.max(initial=0)) + 1)
+        offsets, partners = self.graph.out_partner_groups()
+        pool_counts = offsets[nodes + 1] - offsets[nodes]
+        take = np.minimum(pool_counts, width)
+        out = rng.integers(0, n, size=(rows, width), dtype=np.int64)
+        if partners.size:
+            cols = np.arange(width)
+            partner_slot = cols[None, :] < take[:, None]
+            gather = np.where(partner_slot, offsets[nodes][:, None] + cols[None, :], 0)
+            out = np.where(partner_slot, partners[gather], out)
+            # Hubs with more partners than slots: an ascending-id prefix would
+            # systematically exclude high-id partners, so overflowing rows
+            # take an unbiased without-replacement subsample of their pool --
+            # batched random keys per pool entry, the `width` smallest keys
+            # per row form a uniform subset (no per-row Python round-trips).
+            over = np.nonzero(pool_counts > width)[0]
+            if over.size:
+                over_counts = pool_counts[over]
+                max_pool = int(over_counts.max())
+                keys = rng.random((over.size, max_pool))
+                keys[np.arange(max_pool)[None, :] >= over_counts[:, None]] = np.inf
+                pick = np.argpartition(keys, width - 1, axis=1)[:, :width]
+                out[over] = partners[offsets[nodes[over]][:, None] + pick]
+        allowed = distinct_allowed_mask(out, nodes)
+        if needed is not None:
+            self._pad_deficient_rows(out, nodes, needed, rng, allowed)
+        return out, allowed
+
+    def _pad_deficient_rows(
+        self,
+        candidates: np.ndarray,
+        nodes: np.ndarray,
+        needed: np.ndarray,
+        rng: np.random.Generator,
+        allowed: np.ndarray,
+    ) -> None:
+        """Top up rows whose distinct usable candidates fall short (in place).
+
+        Duplicate slots are overwritten with fresh node ids not yet present
+        in the row: a few rejection-sampling rounds of uniform negatives,
+        then an exact set-difference fallback for tiny universes.  Row
+        widths guarantee enough surplus slots (``width >= needed + 1``).
+        Both ``candidates`` and its ``allowed`` mask are updated in place.
+        """
+        n = self.graph.num_nodes
+        have = allowed.sum(axis=1)
+        for row in np.nonzero(have < needed)[0]:
+            missing = int(needed[row] - have[row])
+            taken = set(candidates[row].tolist())
+            taken.add(int(nodes[row]))
+            fresh: List[int] = []
+            for _ in range(_PAD_ATTEMPTS):
+                if len(fresh) >= missing:
+                    break
+                for value in rng.integers(0, n, size=4 * missing).tolist():
+                    if value not in taken:
+                        taken.add(value)
+                        fresh.append(value)
+                        if len(fresh) == missing:
+                            break
+            if len(fresh) < missing:
+                remaining = np.setdiff1d(
+                    np.arange(n), np.fromiter(taken, dtype=np.int64, count=len(taken))
+                )
+                extra = rng.permutation(remaining)[: missing - len(fresh)]
+                fresh.extend(extra.tolist())
+            slots = np.nonzero(~allowed[row])[0][: len(fresh)]
+            candidates[row, slots] = np.asarray(fresh, dtype=np.int64)
+            allowed[row] = distinct_allowed_mask(
+                candidates[row : row + 1], nodes[row : row + 1]
+            )[0]
+
+    # ------------------------------------------------------------------
+    # Generation (Sec. IV-G)
+    # ------------------------------------------------------------------
+    def generate(self, rng: np.random.Generator) -> TemporalGraph:
+        """Assemble one synthetic graph matching the observed edge budgets.
+
+        Every active temporal node ``(u, t)`` draws its observed number of
+        distinct targets without replacement from its decoded distribution;
+        the remaining ``d - k`` edge budget repeats those targets
+        proportionally to their probabilities so multi-edge (bursty)
+        structure survives.  In streaming mode the draw happens inside the
+        candidate set -- probabilities are never scattered into full
+        ``num_nodes``-wide rows.
+        """
+        graph = self.graph
+        centers_all, degrees, distinct_counts = active_temporal_nodes(graph)
+        sampler = EgoGraphSampler(graph, self.config, rng)
+        streaming = self.config.candidate_limit > 0
+        src_out: List[np.ndarray] = []
+        dst_out: List[np.ndarray] = []
+        t_out: List[np.ndarray] = []
+        chunk = max(self.config.num_initial_nodes, 16)
+        self.model.eval()
+        with no_grad():
+            for start in range(0, centers_all.shape[0], chunk):
+                part = centers_all[start : start + chunk]
+                part_deg = degrees[start : start + chunk]
+                part_distinct = distinct_counts[start : start + chunk]
+                batch = sampler.inference_batch(part)
+                computation = batch.computation_batch(self.config.packed_batches)
+                if streaming:
+                    cand, allowed = self.candidates_with_mask(
+                        part, rng, min_distinct=part_distinct
+                    )
+                    decoded = self.model(computation, sample=False, candidates=cand)
+                    probs = fold_duplicate_mass(
+                        cand, softmax(decoded.logits, axis=-1).numpy()
+                    )
+                    drawn = sample_rows_without_replacement(
+                        probs, part_distinct, rng, allowed=allowed
+                    )
+                else:
+                    cand = None
+                    decoded = self.model(computation, sample=False)
+                    probs = softmax(decoded.logits, axis=-1).numpy()
+                    drawn = sample_rows_without_replacement(
+                        probs, part_distinct, rng, forbid=part[:, 0]
+                    )
+                for row, cols in enumerate(drawn):
+                    if cols.size == 0:
+                        continue
+                    node, timestamp = int(part[row, 0]), int(part[row, 1])
+                    targets = cand[row, cols] if cand is not None else cols
+                    extra = int(part_deg[row]) - targets.size
+                    if extra > 0:
+                        # Multi-edges: repeat drawn targets proportionally to
+                        # their decoded probabilities.
+                        weight = probs[row][cols]
+                        weight = weight / weight.sum() if weight.sum() > 0 else None
+                        repeats = rng.choice(targets, size=extra, p=weight)
+                        targets = np.concatenate([targets, repeats])
+                    src_out.append(np.full(targets.size, node, dtype=np.int64))
+                    dst_out.append(targets.astype(np.int64))
+                    t_out.append(np.full(targets.size, timestamp, dtype=np.int64))
+        if not src_out:
+            raise GenerationError("generation produced no edges")
+        return TemporalGraph(
+            graph.num_nodes,
+            np.concatenate(src_out),
+            np.concatenate(dst_out),
+            np.concatenate(t_out),
+            num_timestamps=graph.num_timestamps,
+            validate=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Score inspection
+    # ------------------------------------------------------------------
+    def dense_score_rows(self, centers: np.ndarray, sampler: EgoGraphSampler) -> np.ndarray:
+        """Full softmax rows for explicit centres (test/debug helper).
+
+        Always decodes against the whole node universe regardless of
+        ``candidate_limit``; used by the small-graph score-matrix helper.
+        """
+        batch = sampler.inference_batch(centers)
+        with no_grad():
+            decoded = self.model(
+                batch.computation_batch(self.config.packed_batches), sample=False
+            )
+            return softmax(decoded.logits, axis=-1).numpy()
+
+    def score_topk(
+        self,
+        k: int,
+        timestamps: Optional[List[int]] = None,
+        chunk: Optional[int] = None,
+    ) -> TopKScores:
+        """Chunked top-``k`` decoded scores as sparse triples.
+
+        Iterates centres ``(u, t)`` in chunks, decodes each chunk once (over
+        candidate sets in streaming mode, the full universe otherwise) and
+        keeps only the ``k`` highest-probability targets per centre -- peak
+        memory is O(chunk * max(C, n)) while the output is O(n * k) triples,
+        never an ``(n, T, n)`` tensor.
+        """
+        if k < 1:
+            raise GenerationError(f"k must be >= 1, got {k}")
+        graph = self.graph
+        stamps = (
+            list(timestamps) if timestamps is not None else list(range(graph.num_timestamps))
+        )
+        rng = np.random.default_rng(self.config.seed + 23)
+        sampler = EgoGraphSampler(graph, self.config, rng)
+        step = chunk if chunk is not None else max(self.config.num_initial_nodes, 16)
+        streaming = self.config.candidate_limit > 0
+        nodes_out: List[np.ndarray] = []
+        stamps_out: List[np.ndarray] = []
+        targets_out: List[np.ndarray] = []
+        scores_out: List[np.ndarray] = []
+        self.model.eval()
+        with no_grad():
+            for timestamp in stamps:
+                for start in range(0, graph.num_nodes, step):
+                    node_ids = np.arange(start, min(start + step, graph.num_nodes))
+                    part = np.stack(
+                        [node_ids, np.full(node_ids.size, timestamp)], axis=1
+                    )
+                    batch = sampler.inference_batch(part)
+                    computation = batch.computation_batch(self.config.packed_batches)
+                    if streaming:
+                        cand = self.candidate_batch(part, rng)
+                        decoded = self.model(computation, sample=False, candidates=cand)
+                        # Fold duplicate-slot mass so each target appears once
+                        # and the row remains a proper distribution.
+                        probs = fold_duplicate_mass(
+                            cand, softmax(decoded.logits, axis=-1).numpy()
+                        )
+                    else:
+                        cand = None
+                        decoded = self.model(computation, sample=False)
+                        probs = softmax(decoded.logits, axis=-1).numpy()
+                    kk = min(k, probs.shape[1])
+                    top = np.argpartition(-probs, kk - 1, axis=1)[:, :kk]
+                    top_scores = np.take_along_axis(probs, top, axis=1)
+                    order = np.argsort(-top_scores, axis=1, kind="stable")
+                    top = np.take_along_axis(top, order, axis=1)
+                    top_scores = np.take_along_axis(top_scores, order, axis=1)
+                    columns = (
+                        np.take_along_axis(cand, top, axis=1) if cand is not None else top
+                    )
+                    keep = top_scores > 0
+                    rows = np.repeat(node_ids, kk).reshape(node_ids.size, kk)
+                    nodes_out.append(rows[keep])
+                    stamps_out.append(np.full(int(keep.sum()), timestamp, dtype=np.int64))
+                    targets_out.append(columns[keep])
+                    scores_out.append(top_scores[keep])
+        return TopKScores(
+            node=np.concatenate(nodes_out) if nodes_out else np.empty(0, dtype=np.int64),
+            timestamp=(
+                np.concatenate(stamps_out) if stamps_out else np.empty(0, dtype=np.int64)
+            ),
+            target=(
+                np.concatenate(targets_out) if targets_out else np.empty(0, dtype=np.int64)
+            ),
+            score=(
+                np.concatenate(scores_out) if scores_out else np.empty(0, dtype=np.float64)
+            ),
+        )

@@ -1,12 +1,12 @@
-"""TGAE graph generation (Sec. IV-G) and the high-level generator API.
+"""The high-level TGAE generator API (Sec. IV-G behind the common interface).
 
-After training, every active temporal node ``(u, t)`` (one that emits at
-least one edge at ``t``) is re-encoded from a fresh ego-graph, its decoded
-categorical edge distribution forms the rows of the score matrix
-``S_{t=1:T}``, and out-edges are drawn *without replacement* per temporal
-node until the generated edge count matches the observed graph -- exactly
-the assembling procedure of Sec. IV-G, implemented sparsely (row by row)
-so no dense ``T x n x n`` tensor is ever materialised.
+Fitting trains the TGAE model (Sec. IV-C/D); generation delegates to the
+streaming :class:`~repro.core.engine.GenerationEngine`, which re-encodes
+every active temporal node ``(u, t)`` from a fresh ego-graph, decodes its
+categorical edge distribution, and draws out-edges without replacement until
+the generated edge count matches the observed graph -- exactly the
+assembling procedure of Sec. IV-G, with O(E + n*C) additional memory (no
+dense node x node array is ever materialised outside tests).
 """
 
 from __future__ import annotations
@@ -15,100 +15,24 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..autograd import no_grad, softmax
 from ..base import TemporalGraphGenerator
 from ..errors import GenerationError
 from ..graph.temporal_graph import TemporalGraph
 from .config import TGAEConfig
+from .engine import (
+    GenerationEngine,
+    TopKScores,
+    sample_rows_without_replacement,
+    sample_without_replacement,
+)
 from .model import TGAEModel
 from .sampler import EgoGraphSampler
 from .trainer import TrainingHistory, train_tgae
 
-
-def _sample_rows_without_replacement(
-    probs: np.ndarray,
-    counts: np.ndarray,
-    rng: np.random.Generator,
-    forbid: Optional[np.ndarray] = None,
-) -> List[np.ndarray]:
-    """Row-batched sampling without replacement via vectorised Gumbel top-k.
-
-    Draws ``counts[i]`` distinct column indices from the categorical
-    distribution ``probs[i]`` for every row ``i`` in one vectorised pass
-    (one Gumbel perturbation + one argsort over the whole matrix), instead
-    of one NumPy round-trip per row.
-
-    Parameters
-    ----------
-    probs:
-        ``(rows, n)`` non-negative weights; rows need not be normalised
-        (Gumbel top-k is invariant to per-row scaling).
-    counts:
-        ``(rows,)`` number of distinct draws requested per row; clipped to
-        the number of columns with positive allowed mass.
-    forbid:
-        Optional ``(rows,)`` column index excluded per row (no self-loop
-        edges during generation).
-
-    A row whose entire mass sits on forbidden/zero entries falls back to
-    uniform sampling over the allowed columns; if no allowed column remains
-    at all (e.g. a single-node universe whose only column is forbidden) the
-    row yields an empty draw rather than dividing by zero or returning the
-    forbidden index.
-    """
-    p = np.asarray(probs, dtype=np.float64).copy()
-    if p.ndim != 2:
-        raise GenerationError(f"probs must be 2-D, got shape {p.shape}")
-    rows, _ = p.shape
-    row_ids = np.arange(rows)
-    if forbid is not None:
-        forbid = np.asarray(forbid, dtype=np.int64)
-        p[row_ids, forbid] = 0.0
-    totals = p.sum(axis=1)
-    degenerate = totals <= 0
-    if degenerate.any():
-        # Degenerate rows: fall back to uniform over allowed entries.
-        p[degenerate] = 1.0
-        if forbid is not None:
-            p[row_ids[degenerate], forbid[degenerate]] = 0.0
-    allowed = p > 0
-    counts = np.minimum(
-        np.asarray(counts, dtype=np.int64), allowed.sum(axis=1)
-    ).clip(min=0)
-    gumbel = -np.log(-np.log(rng.random(p.shape) + 1e-300) + 1e-300)
-    with np.errstate(divide="ignore"):
-        keys = np.where(allowed, np.log(np.where(allowed, p, 1.0)) + gumbel, -np.inf)
-    max_k = int(counts.max()) if counts.size else 0
-    if max_k == 0:
-        return [np.array([], dtype=np.int64) for _ in range(rows)]
-    n = p.shape[1]
-    if max_k < n:
-        # Top-max_k per row in linear time, then sort only those columns so
-        # each row's first counts[i] entries are its true top keys.
-        top = np.argpartition(-keys, max_k - 1, axis=1)[:, :max_k]
-        within = np.argsort(-np.take_along_axis(keys, top, axis=1), axis=1)
-        order = np.take_along_axis(top, within, axis=1)
-    else:
-        order = np.argsort(-keys, axis=1)
-    return [order[i, : counts[i]].astype(np.int64) for i in range(rows)]
-
-
-def _sample_without_replacement(
-    probs: np.ndarray, count: int, rng: np.random.Generator, forbid: Optional[int] = None
-) -> np.ndarray:
-    """Draw ``count`` distinct indices from one categorical via Gumbel top-k.
-
-    Single-row convenience wrapper around
-    :func:`_sample_rows_without_replacement`, inheriting its degenerate-row
-    guarantees (uniform fallback; empty draw when every entry is forbidden).
-    """
-    rows = _sample_rows_without_replacement(
-        np.asarray(probs, dtype=np.float64)[None, :],
-        np.array([count], dtype=np.int64),
-        rng,
-        forbid=None if forbid is None else np.array([forbid], dtype=np.int64),
-    )
-    return rows[0]
+# Back-compat aliases: the row samplers started life as private helpers of
+# this module and are re-exported for existing importers.
+_sample_rows_without_replacement = sample_rows_without_replacement
+_sample_without_replacement = sample_without_replacement
 
 
 class TGAEGenerator(TemporalGraphGenerator):
@@ -168,125 +92,51 @@ class TGAEGenerator(TemporalGraphGenerator):
         self.history = train_tgae(self.model, graph, self.config)
 
     # ------------------------------------------------------------------
-    # Generation (Sec. IV-G)
+    # Generation (Sec. IV-G, streaming)
     # ------------------------------------------------------------------
-    def _generate(self, seed: Optional[int]) -> TemporalGraph:
+    def engine(self) -> GenerationEngine:
+        """The streaming generation engine over the fitted model."""
+        graph = self.observed  # raises NotFittedError before fit
         if self.model is None:
             raise GenerationError("internal error: model missing after fit")
-        graph = self.observed
+        return GenerationEngine(self.model, graph, self.config)
+
+    def _generate(self, seed: Optional[int]) -> TemporalGraph:
         rng = np.random.default_rng(seed if seed is not None else self.config.seed + 17)
-
-        # Active temporal nodes with their observed out-edge budget d(u, t)
-        # and distinct-target count k(u, t).  Generation reproduces both:
-        # k distinct targets are drawn without replacement (Sec. IV-G) and
-        # the remaining d - k edges repeat those targets, so multi-edge
-        # (bursty) structure survives and the total edge count matches.
-        out_deg = np.zeros((graph.num_nodes, graph.num_timestamps), dtype=np.int64)
-        np.add.at(out_deg, (graph.src, graph.t), 1)
-        distinct = np.zeros_like(out_deg)
-        unique_triples = np.unique(
-            np.stack([graph.src, graph.t, graph.dst], axis=1), axis=0
-        )
-        np.add.at(distinct, (unique_triples[:, 0], unique_triples[:, 1]), 1)
-        active_u, active_t = np.nonzero(out_deg)
-        if active_u.size == 0:
-            raise GenerationError("observed graph has no edges to imitate")
-        centers = np.stack([active_u, active_t], axis=1)
-        degrees = out_deg[active_u, active_t]
-        distinct_counts = distinct[active_u, active_t]
-
-        sampler = EgoGraphSampler(graph, self.config, rng)
-        # Sampled-softmax mode: per-node candidate pools are the node's
-        # historical partners plus uniform negatives (O(C) per row).
-        partner_pool: dict = {}
-        if self.config.candidate_limit > 0:
-            for u, v in zip(graph.src.tolist(), graph.dst.tolist()):
-                partner_pool.setdefault(u, set()).add(v)
-        src_out: List[np.ndarray] = []
-        dst_out: List[np.ndarray] = []
-        t_out: List[np.ndarray] = []
-        chunk = max(self.config.num_initial_nodes, 16)
-        self.model.eval()
-        with no_grad():
-            for start in range(0, centers.shape[0], chunk):
-                part = centers[start : start + chunk]
-                part_deg = degrees[start : start + chunk]
-                part_distinct = distinct_counts[start : start + chunk]
-                batch = sampler.batch_for_centers(part)
-                candidate_sets = None
-                if self.config.candidate_limit > 0:
-                    candidate_sets = self._generation_candidates(part, partner_pool, rng)
-                # One encoder forward per chunk of temporal nodes (packed
-                # ego-parallel layout by default).
-                decoded = self.model(
-                    batch.computation_batch(self.config.packed_batches),
-                    sample=False,
-                    candidates=candidate_sets,
-                )
-                probs = softmax(decoded.logits, axis=-1).numpy()
-                if candidate_sets is not None:
-                    # Scatter candidate-set probabilities into full rows so
-                    # the sampling path below is uniform.
-                    full = np.zeros((part.shape[0], graph.num_nodes))
-                    rows = np.repeat(np.arange(part.shape[0]), candidate_sets.shape[1])
-                    np.add.at(full, (rows, candidate_sets.reshape(-1)), probs.reshape(-1))
-                    probs = full
-                # All rows of the chunk are drawn in one vectorised pass.
-                drawn = _sample_rows_without_replacement(
-                    probs, part_distinct, rng, forbid=part[:, 0]
-                )
-                for row, targets in enumerate(drawn):
-                    if targets.size == 0:
-                        continue
-                    node, timestamp = int(part[row, 0]), int(part[row, 1])
-                    extra = int(part_deg[row]) - targets.size
-                    if extra > 0:
-                        # Multi-edges: repeat drawn targets proportionally to
-                        # their decoded probabilities.
-                        weight = probs[row][targets]
-                        weight = weight / weight.sum() if weight.sum() > 0 else None
-                        repeats = rng.choice(targets, size=extra, p=weight)
-                        targets = np.concatenate([targets, repeats])
-                    src_out.append(np.full(targets.size, node, dtype=np.int64))
-                    dst_out.append(targets)
-                    t_out.append(np.full(targets.size, timestamp, dtype=np.int64))
-        if not src_out:
-            raise GenerationError("generation produced no edges")
-        generated = TemporalGraph(
-            graph.num_nodes,
-            np.concatenate(src_out),
-            np.concatenate(dst_out),
-            np.concatenate(t_out),
-            num_timestamps=graph.num_timestamps,
-            validate=False,
-        )
-        return generated
+        return self.engine().generate(rng)
 
     def _generation_candidates(
-        self, centers: np.ndarray, partner_pool: dict, rng: np.random.Generator
+        self,
+        centers: np.ndarray,
+        rng: np.random.Generator,
+        min_distinct: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Candidate sets for inference: historical partners + negatives."""
-        limit = self.config.candidate_limit
-        n = self.observed.num_nodes
-        out = np.empty((centers.shape[0], limit), dtype=np.int64)
-        for row in range(centers.shape[0]):
-            node = int(centers[row, 0])
-            partners = np.fromiter(partner_pool.get(node, ()), dtype=np.int64)[:limit]
-            fill = limit - partners.size
-            negatives = rng.integers(0, n, size=fill) if fill > 0 else np.array(
-                [], dtype=np.int64
-            )
-            out[row, : partners.size] = partners
-            out[row, partners.size :] = negatives
-        return out
+        """Candidate sets for inference: historical partners + negatives.
+
+        Vectorised batched assembly on the graph's partner CSR; see
+        :meth:`GenerationEngine.candidate_batch`.
+        """
+        return self.engine().candidate_batch(centers, rng, min_distinct=min_distinct)
 
     # ------------------------------------------------------------------
-    def score_matrix(self, timestamps: Optional[List[int]] = None) -> np.ndarray:
-        """Dense score matrix ``S`` rows for inspection (small graphs only).
+    # Score inspection
+    # ------------------------------------------------------------------
+    def score_topk(
+        self, k: int, timestamps: Optional[List[int]] = None
+    ) -> TopKScores:
+        """Top-``k`` decoded edge scores as sparse ``(row, col, score)`` triples.
 
-        Returns an ``(n, T, n)``-shaped array restricted to the requested
-        timestamps; mainly a debugging/analysis aid and used by tests to
-        check normalisation.
+        The scalable replacement for the dense score matrix: chunked
+        decoding, O(n * k) output, no ``(n, T, n)`` tensor.
+        """
+        return self.engine().score_topk(k, timestamps=timestamps)
+
+    def score_matrix(self, timestamps: Optional[List[int]] = None) -> np.ndarray:
+        """Dense score matrix ``S`` rows for inspection.
+
+        **Test-only helper** for small graphs: materialises the
+        ``(n, T, n)``-shaped array the tests use to check normalisation.
+        Production inspection goes through :meth:`score_topk`.
         """
         if self.model is None:
             raise GenerationError("generator is not fitted")
@@ -294,15 +144,12 @@ class TGAEGenerator(TemporalGraphGenerator):
         stamps = timestamps if timestamps is not None else list(range(graph.num_timestamps))
         rng = np.random.default_rng(self.config.seed + 23)
         sampler = EgoGraphSampler(graph, self.config, rng)
+        engine = self.engine()
         scores = np.zeros((graph.num_nodes, len(stamps), graph.num_nodes))
-        with no_grad():
-            for j, timestamp in enumerate(stamps):
-                centers = np.stack(
-                    [np.arange(graph.num_nodes), np.full(graph.num_nodes, timestamp)], axis=1
-                )
-                batch = sampler.batch_for_centers(centers)
-                decoded = self.model(
-                    batch.computation_batch(self.config.packed_batches), sample=False
-                )
-                scores[:, j, :] = softmax(decoded.logits, axis=-1).numpy()
+        self.model.eval()
+        for j, timestamp in enumerate(stamps):
+            centers = np.stack(
+                [np.arange(graph.num_nodes), np.full(graph.num_nodes, timestamp)], axis=1
+            )
+            scores[:, j, :] = engine.dense_score_rows(centers, sampler)
         return scores

@@ -151,6 +151,24 @@ class EgoGraphSampler:
             out[row, positives.size :] = negatives
         return out
 
+    def inference_batch(self, centers: np.ndarray) -> TrainingBatch:
+        """Ego-graph batch for explicit centres, without training targets.
+
+        Generation and score inspection only need the computation graphs, so
+        this skips the adjacency-row and training-candidate assembly that
+        :meth:`batch_for_centers` performs (the generation engine builds its
+        own inference candidate sets from the partner CSR).
+        """
+        egos = ego_graph_batch(
+            self.graph,
+            centers,
+            radius=self.config.radius,
+            threshold=self.config.neighbor_threshold,
+            time_window=self.config.time_window,
+            rng=self.rng,
+        )
+        return TrainingBatch(centers=centers, target_rows=[], egos=egos)
+
     def next_batch(self) -> TrainingBatch:
         """Sample a fresh training batch of ``n_s`` centres."""
         centers = self.sample_centers(self.config.num_initial_nodes)

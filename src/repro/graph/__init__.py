@@ -45,7 +45,7 @@ from .transforms import (
     shuffle_timestamps,
     subsample_nodes,
 )
-from .temporal_graph import TemporalGraph, merge
+from .temporal_graph import TemporalGraph, dense_temporal_adjacency, merge
 from .walks import sample_temporal_walk, sample_walk_corpus, walks_to_graph
 
 __all__ = [
@@ -56,6 +56,7 @@ __all__ = [
     "validate_generated",
     "ValidationReport",
     "TemporalGraph",
+    "dense_temporal_adjacency",
     "merge",
     "Snapshot",
     "cumulative_snapshots",

@@ -21,7 +21,7 @@ from .temporal_graph import TemporalGraph
 class Snapshot:
     """A static directed graph ``G_t`` over ``num_nodes`` nodes."""
 
-    __slots__ = ("num_nodes", "src", "dst", "_adjacency")
+    __slots__ = ("num_nodes", "src", "dst", "_adjacency", "_undirected")
 
     def __init__(self, num_nodes: int, src: np.ndarray, dst: np.ndarray) -> None:
         self.num_nodes = int(num_nodes)
@@ -30,6 +30,7 @@ class Snapshot:
         if self.src.shape != self.dst.shape:
             raise GraphFormatError("snapshot src/dst must be parallel arrays")
         self._adjacency: Optional[sp.csr_matrix] = None
+        self._undirected: Optional[sp.csr_matrix] = None
 
     @property
     def num_edges(self) -> int:
@@ -41,25 +42,36 @@ class Snapshot:
     # ------------------------------------------------------------------
     # Conversions
     # ------------------------------------------------------------------
-    def adjacency(self, deduplicate: bool = True) -> sp.csr_matrix:
-        """Directed adjacency as a scipy CSR matrix (binary when deduplicated)."""
+    def adjacency(self) -> sp.csr_matrix:
+        """Directed binary adjacency as a cached scipy CSR matrix.
+
+        Multi-edges are always deduplicated to 1.0 -- the cached matrix is
+        shared by every downstream consumer (undirected view, degrees,
+        metrics, baselines), so it must not depend on call-site flags.
+        """
         if self._adjacency is None:
             data = np.ones(self.num_edges, dtype=np.float64)
             mat = sp.coo_matrix(
                 (data, (self.src, self.dst)), shape=(self.num_nodes, self.num_nodes)
             ).tocsr()
-            if deduplicate:
-                mat.data = np.minimum(mat.data, 1.0)
+            mat.data = np.minimum(mat.data, 1.0)
             self._adjacency = mat
         return self._adjacency
 
     def undirected_adjacency(self) -> sp.csr_matrix:
-        """Symmetrised binary adjacency (used by the undirected statistics)."""
-        adj = self.adjacency()
-        sym = adj.maximum(adj.T)
-        sym.setdiag(0)
-        sym.eliminate_zeros()
-        return sym
+        """Symmetrised binary adjacency, built once and shared.
+
+        Every undirected statistic (clustering, assortativity, density,
+        spectra) reads this cached CSR, so a snapshot symmetrises its edge
+        list exactly once however many metrics are computed on it.
+        """
+        if self._undirected is None:
+            adj = self.adjacency()
+            sym = adj.maximum(adj.T)
+            sym.setdiag(0)
+            sym.eliminate_zeros()
+            self._undirected = sym.tocsr()
+        return self._undirected
 
     def to_networkx(self, directed: bool = True) -> nx.Graph:
         """Convert to a networkx graph over the *active* nodes only."""

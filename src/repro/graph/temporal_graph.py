@@ -32,7 +32,18 @@ class TemporalGraph:
         Whether to check id/timestamp ranges (disable only on trusted input).
     """
 
-    __slots__ = ("num_nodes", "src", "dst", "t", "num_timestamps", "_incidence", "_time_order")
+    __slots__ = (
+        "num_nodes",
+        "src",
+        "dst",
+        "t",
+        "num_timestamps",
+        "_incidence",
+        "_time_order",
+        "_time_bounds",
+        "_partner_groups",
+        "_snapshot_cache",
+    )
 
     def __init__(
         self,
@@ -59,6 +70,9 @@ class TemporalGraph:
             self._validate()
         self._incidence: Optional[Dict[str, np.ndarray]] = None
         self._time_order: Optional[np.ndarray] = None
+        self._time_bounds: Optional[np.ndarray] = None
+        self._partner_groups: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._snapshot_cache: Dict[int, object] = {}
 
     # ------------------------------------------------------------------
     # Validation / basic properties
@@ -134,13 +148,24 @@ class TemporalGraph:
         mask = self.t <= timestamp
         return self.src[mask], self.dst[mask]
 
-    def snapshots(self) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
-        """Yield ``(t, src, dst)`` for every timestamp in order."""
+    def _snapshot_order_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached stable time-sort of the edges plus per-timestamp bounds.
+
+        One O(E log E) sort serves every per-timestamp consumer
+        (:meth:`snapshots`, :meth:`snapshot_view`); within a timestamp the
+        original edge order is preserved (stable sort).
+        """
         if self._time_order is None:
             self._time_order = np.argsort(self.t, kind="stable")
-        order = self._time_order
-        sorted_t = self.t[order]
-        bounds = np.searchsorted(sorted_t, np.arange(self.num_timestamps + 1))
+        if self._time_bounds is None:
+            self._time_bounds = np.searchsorted(
+                self.t[self._time_order], np.arange(self.num_timestamps + 1)
+            )
+        return self._time_order, self._time_bounds
+
+    def snapshots(self) -> Iterator[Tuple[int, np.ndarray, np.ndarray]]:
+        """Yield ``(t, src, dst)`` for every timestamp in order."""
+        order, bounds = self._snapshot_order_bounds()
         for timestamp in range(self.num_timestamps):
             sel = order[bounds[timestamp] : bounds[timestamp + 1]]
             yield timestamp, self.src[sel], self.dst[sel]
@@ -211,6 +236,65 @@ class TemporalGraph:
         return inc["other"][lo:hi], inc["times"][lo:hi]
 
     # ------------------------------------------------------------------
+    # Sparse adjacency provider (shared by generation, metrics, baselines)
+    # ------------------------------------------------------------------
+    def out_partner_groups(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR-style slices of each node's distinct historical out-partners.
+
+        Returns ``(offsets, partners)`` where
+        ``partners[offsets[u]:offsets[u + 1]]`` are the sorted distinct
+        targets ``v`` such that an edge ``u -> v`` exists at any timestamp.
+        Built once in O(E log E) with a vectorised group-by over the sorted
+        edge arrays and cached; this is the partner-pool structure the
+        streaming generation engine's candidate assembly reads.
+        """
+        if self._partner_groups is None:
+            if self.num_edges:
+                pairs = np.unique(self.src * np.int64(self.num_nodes) + self.dst)
+                owners = pairs // self.num_nodes
+                partners = pairs % self.num_nodes
+            else:
+                owners = np.empty(0, dtype=np.int64)
+                partners = np.empty(0, dtype=np.int64)
+            counts = np.bincount(owners, minlength=self.num_nodes)
+            offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+            self._partner_groups = (offsets, partners.astype(np.int64))
+        return self._partner_groups
+
+    def snapshot_view(self, timestamp: int):
+        """Cached :class:`~repro.graph.snapshot.Snapshot` of the edges at ``timestamp``.
+
+        The snapshot (and thus its CSR adjacency) is built once per timestamp
+        and shared by every consumer of this graph -- e.g. all per-snapshot
+        baselines fitting on one observed graph slice the same objects.  The
+        cache holds at most ``num_timestamps`` entries totalling O(E).
+        """
+        from .snapshot import Snapshot  # local import: snapshot.py imports this module
+
+        timestamp = int(timestamp)
+        if not 0 <= timestamp < self.num_timestamps:
+            raise GraphFormatError(
+                f"timestamp {timestamp} outside [0, {self.num_timestamps})"
+            )
+        if timestamp not in self._snapshot_cache:
+            order, bounds = self._snapshot_order_bounds()
+            sel = order[bounds[timestamp] : bounds[timestamp + 1]]
+            self._snapshot_cache[timestamp] = Snapshot(
+                self.num_nodes, self.src[sel], self.dst[sel]
+            )
+        return self._snapshot_cache[timestamp]
+
+    def adjacency_at(self, timestamp: int, symmetric: bool = False):
+        """Sparse CSR adjacency ``A^{(t)}`` of one snapshot, built lazily.
+
+        The streaming replacement for the dense ``(T, n, n)`` tensor of
+        Sec. IV-A: O(E_t) memory per timestamp, deduplicated binary entries,
+        optionally symmetrised (self-loops dropped in the symmetric view).
+        """
+        snapshot = self.snapshot_view(timestamp)
+        return snapshot.undirected_adjacency() if symmetric else snapshot.adjacency()
+
+    # ------------------------------------------------------------------
     # Transformations
     # ------------------------------------------------------------------
     def copy(self) -> "TemporalGraph":
@@ -263,18 +347,20 @@ class TemporalGraph:
             validate=False,
         )
 
-    # ------------------------------------------------------------------
-    # Dense views (small graphs only)
-    # ------------------------------------------------------------------
-    def temporal_adjacency(self) -> np.ndarray:
-        """Dense ``(T, n, n)`` 0/1 adjacency tensor ``A_{t=1:T}`` (Sec. IV-A).
+def dense_temporal_adjacency(graph: "TemporalGraph") -> np.ndarray:
+    """Dense ``(T, n, n)`` 0/1 adjacency tensor ``A_{t=1:T}`` (Sec. IV-A).
 
-        Intended for small graphs and tests; production paths use the sparse
-        incidence structure instead.
-        """
-        adj = np.zeros((self.num_timestamps, self.num_nodes, self.num_nodes), dtype=np.int8)
-        adj[self.t, self.src, self.dst] = 1
-        return adj
+    **Test-only helper.**  Production paths never materialise a node x node
+    array; they go through :meth:`TemporalGraph.adjacency_at` (sparse CSR per
+    snapshot) and :meth:`TemporalGraph.out_partner_groups` instead.  This
+    function exists so equivalence tests can check the sparse providers
+    against the textbook dense tensor on small graphs.
+    """
+    adj = np.zeros(
+        (graph.num_timestamps, graph.num_nodes, graph.num_nodes), dtype=np.int8
+    )
+    adj[graph.t, graph.src, graph.dst] = 1
+    return adj
 
 
 def merge(graphs: List[TemporalGraph]) -> TemporalGraph:

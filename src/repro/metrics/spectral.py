@@ -26,7 +26,9 @@ from ..graph.snapshot import Snapshot
 
 
 def _symmetric_adjacency(snapshot: Snapshot) -> sp.csr_matrix:
-    return snapshot.undirected_adjacency().astype(np.float64)
+    # The snapshot's cached undirected CSR is already float64; copy=False
+    # keeps this a view of the shared provider rather than a rebuild.
+    return snapshot.undirected_adjacency().astype(np.float64, copy=False)
 
 
 def adjacency_spectrum(snapshot: Snapshot, k: int = 8) -> np.ndarray:

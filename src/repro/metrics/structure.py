@@ -13,6 +13,10 @@ can be passed to :func:`repro.metrics.relative_error_series`):
 * **density** of the simple undirected view;
 * **Kolmogorov-Smirnov distance** between two degree distributions --
   a sharper distributional comparison than the scalar statistics.
+
+All functions read the snapshot's *cached* undirected CSR adjacency (the
+shared sparse provider), so computing the full statistic battery on one
+snapshot symmetrises its edge list exactly once.
 """
 
 from __future__ import annotations

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import GraphFormatError
-from repro.graph import TemporalGraph, merge
+from repro.graph import TemporalGraph, dense_temporal_adjacency, merge
 
 
 def small_graph():
@@ -143,11 +143,73 @@ class TestTransformations:
 
     def test_temporal_adjacency_dense(self):
         g = small_graph()
-        adj = g.temporal_adjacency()
+        adj = dense_temporal_adjacency(g)
         assert adj.shape == (3, 3, 3)
         assert adj[0, 0, 1] == 1
         assert adj[0, 1, 0] == 0  # directed
         assert adj.sum() == g.num_edges
+
+
+def random_graph(num_nodes, num_edges, num_timestamps, seed):
+    rng = np.random.default_rng(seed)
+    return TemporalGraph(
+        num_nodes,
+        rng.integers(0, num_nodes, size=num_edges),
+        rng.integers(0, num_nodes, size=num_edges),
+        rng.integers(0, num_timestamps, size=num_edges),
+        num_timestamps=num_timestamps,
+    )
+
+
+class TestSparseAdjacencyProvider:
+    """The CSR providers must agree with the dense (T, n, n) reference."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_adjacency_at_matches_dense(self, seed):
+        g = random_graph(12, 60, 4, seed)
+        dense = dense_temporal_adjacency(g)
+        for t in range(g.num_timestamps):
+            sparse = g.adjacency_at(t).toarray()
+            assert np.array_equal(sparse > 0, dense[t] > 0)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_symmetric_adjacency_matches_dense(self, seed):
+        g = random_graph(10, 40, 3, seed)
+        dense = dense_temporal_adjacency(g)
+        for t in range(g.num_timestamps):
+            ref = np.maximum(dense[t], dense[t].T).astype(np.float64)
+            np.fill_diagonal(ref, 0.0)
+            sparse = g.adjacency_at(t, symmetric=True).toarray()
+            assert np.array_equal(sparse > 0, ref > 0)
+
+    def test_adjacency_at_is_cached(self):
+        g = small_graph()
+        assert g.snapshot_view(0) is g.snapshot_view(0)
+        # The CSR itself is the shared object, not just the Snapshot.
+        assert g.adjacency_at(0, symmetric=True) is g.adjacency_at(0, symmetric=True)
+
+    def test_adjacency_at_empty_timestamp(self):
+        g = TemporalGraph(4, [0], [1], [0], num_timestamps=3)
+        assert g.adjacency_at(2).nnz == 0
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_out_partner_groups_match_dict_of_sets(self, seed):
+        g = random_graph(15, 80, 4, seed)
+        offsets, partners = g.out_partner_groups()
+        reference = {}
+        for u, v in zip(g.src.tolist(), g.dst.tolist()):
+            reference.setdefault(u, set()).add(v)
+        assert offsets.shape == (g.num_nodes + 1,)
+        for u in range(g.num_nodes):
+            pool = partners[offsets[u] : offsets[u + 1]]
+            assert sorted(pool.tolist()) == sorted(reference.get(u, set()))
+            assert np.all(np.diff(pool) > 0)  # sorted + distinct
+
+    def test_out_partner_groups_empty_graph(self):
+        g = TemporalGraph(3, [], [], [], num_timestamps=2)
+        offsets, partners = g.out_partner_groups()
+        assert partners.size == 0
+        assert np.array_equal(offsets, np.zeros(4, dtype=np.int64))
 
 
 class TestMerge:
