@@ -7,6 +7,11 @@ never allocate a dense ``(n, n)`` array.  A single ``(5000, 5000)`` array is
 *total* tracemalloc peak stays below ``n * n`` bytes proves no such
 allocation happened anywhere in the fit or generation path.
 
+The second smoke repeats the generation assertion on the *parallel* sharded
+path (``workers=2`` on the thread backend, so tracemalloc observes every
+worker's allocations in-process) and checks the sharded run reproduces the
+sequential draws bit for bit.
+
 Runs in the CI bench job alongside the batched-encoding throughput smoke.
 """
 
@@ -48,3 +53,41 @@ def bench_streaming_generation_peak_memory():
             f"{phase} peak traced memory {peak} B >= {dense_floor} B -- the "
             f"path materialised a dense (n, n)-scale array"
         )
+
+
+def bench_parallel_generation_peak_memory():
+    """The sharded parallel path allocates no ``(n, n)`` array either.
+
+    Thread backend: worker allocations stay in-process where tracemalloc
+    can see them, and the chunk code is the same one the process backend
+    runs, so the assertion covers the shared sharded path.
+    """
+    observed = erdos_renyi_temporal(NUM_NODES, NUM_EDGES, NUM_TIMESTAMPS, seed=3)
+    config = fast_config(
+        epochs=2,
+        num_initial_nodes=64,
+        candidate_limit=16,
+        neighbor_threshold=5,
+    )
+    generator = TGAEGenerator(config).fit(observed)
+    sequential = generator.generate(seed=0, workers=1)
+    tracemalloc.start()
+    engine = generator.engine()
+    import numpy as np
+
+    parallel = engine.generate(np.random.default_rng(0), workers=2, backend="thread")
+    _, parallel_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    dense_floor = NUM_NODES * NUM_NODES
+    print(
+        f"\nparallel streaming @ n={NUM_NODES}, workers=2 (thread): "
+        f"generate peak={parallel_peak / 1e6:.1f} MB "
+        f"(dense (n, n) floor: {dense_floor / 1e6:.1f} MB)"
+    )
+    assert parallel == sequential  # workers never change the draws
+    assert parallel.num_edges == observed.num_edges
+    assert parallel_peak < dense_floor, (
+        f"parallel generate peak {parallel_peak} B >= {dense_floor} B -- the "
+        f"sharded path materialised a dense (n, n)-scale array"
+    )

@@ -1,0 +1,119 @@
+"""Wall-clock speedup of the sharded parallel chunk-encoding engine.
+
+PR 2 removed generation's memory ceiling; the remaining ceiling is *time*:
+one encoder forward + candidate decode per chunk of active temporal nodes.
+This benchmark measures what sharding those chunks over a process pool buys
+on the Figure-6 medium streaming size, and -- because the engine spawns one
+seed-sequence child per chunk before dispatch -- asserts that the parallel
+run reproduces the sequential run **bit for bit**.
+
+Two entry points:
+
+* ``bench_parallel_encoding_speedup`` -- workers=1 vs workers=4 generation
+  wall-clock at the fig6 medium point.  The >= 1.5x speedup floor is only
+  asserted when the machine actually exposes >= 4 CPU cores (containers
+  pinned to one core cannot speed up CPU-bound work, but still verify
+  bit-identity); set ``REPRO_BENCH_REQUIRE_SPEEDUP=1`` to force the assert.
+* ``bench_parallel_encoding_smoke`` -- a small, fast bit-identity check at
+  a configurable worker count (``REPRO_BENCH_WORKERS``, default 2); the CI
+  workers=2 gate.
+"""
+
+import hashlib
+import os
+import time
+
+import numpy as np
+
+from repro.core import TGAEGenerator, fast_config
+from repro.datasets.scalability import ScalabilityPoint, make_scalability_graph
+
+#: The fig6 medium streaming point (same scale as bench_fig6's
+#: streaming-vs-dense extension).
+MEDIUM = ScalabilityPoint(1200, 4, 0.002)
+SMALL = ScalabilityPoint(400, 3, 0.004)
+
+PARALLEL_WORKERS = 4
+SPEEDUP_FLOOR = 1.5
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        return os.cpu_count() or 1
+
+
+def _fingerprint(graph) -> str:
+    triples = np.stack([graph.t, graph.src, graph.dst], axis=1)
+    order = np.lexsort((graph.dst, graph.src, graph.t))
+    return hashlib.sha256(np.ascontiguousarray(triples[order]).tobytes()).hexdigest()
+
+
+def bench_parallel_encoding_speedup(benchmark):
+    """workers=4 vs workers=1 generation wall-clock at the fig6 medium size."""
+    observed = make_scalability_graph(MEDIUM)
+    config = fast_config(
+        epochs=2, num_initial_nodes=32, neighbor_threshold=6, candidate_limit=32,
+    )
+    generator = TGAEGenerator(config).fit(observed)
+    engine = generator.engine()
+
+    def timed(workers):
+        best = float("inf")
+        graph = None
+        for _ in range(2):  # best-of-2 damps pool warm-up noise
+            start = time.perf_counter()
+            graph = engine.generate(np.random.default_rng(0), workers=workers)
+            best = min(best, time.perf_counter() - start)
+        return graph, best
+
+    def compare():
+        return timed(1), timed(PARALLEL_WORKERS)
+
+    (seq_graph, seq_s), (par_graph, par_s) = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    speedup = seq_s / par_s
+    cores = _available_cores()
+    print(
+        f"\n=== parallel sharded encoding @ n={MEDIUM.num_nodes} ({MEDIUM.label}) ===\n"
+        f"workers=1: {seq_s:6.2f}s   workers={PARALLEL_WORKERS}: {par_s:6.2f}s   "
+        f"speedup: {speedup:.2f}x   (cores available: {cores})"
+    )
+    assert _fingerprint(seq_graph) == _fingerprint(par_graph), (
+        "parallel generation diverged from the sequential draws"
+    )
+    assert seq_graph.num_edges == observed.num_edges
+    if cores >= PARALLEL_WORKERS or os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP"):
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"workers={PARALLEL_WORKERS} speedup {speedup:.2f}x below the "
+            f"{SPEEDUP_FLOOR}x floor on {cores} cores"
+        )
+    else:
+        print(
+            f"only {cores} core(s) exposed -- speedup floor not asserted "
+            "(bit-identity still verified)"
+        )
+
+
+def bench_parallel_encoding_smoke():
+    """Small bit-identity smoke at ``REPRO_BENCH_WORKERS`` (default 2)."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+    observed = make_scalability_graph(SMALL)
+    config = fast_config(
+        epochs=2, num_initial_nodes=32, neighbor_threshold=6, candidate_limit=16,
+    )
+    generator = TGAEGenerator(config).fit(observed)
+    start = time.perf_counter()
+    sequential = generator.generate(seed=0, workers=1)
+    seq_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = generator.generate(seed=0, workers=workers)
+    par_s = time.perf_counter() - start
+    print(
+        f"\nparallel smoke @ n={SMALL.num_nodes}: workers=1 {seq_s:.2f}s, "
+        f"workers={workers} {par_s:.2f}s"
+    )
+    assert _fingerprint(sequential) == _fingerprint(parallel)
+    assert sequential.num_edges == observed.num_edges

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..base import TemporalGraphGenerator
 from ..graph.temporal_graph import TemporalGraph
+from ..rng import stream
 
 
 class DymondGenerator(TemporalGraphGenerator):
@@ -102,7 +103,11 @@ class DymondGenerator(TemporalGraphGenerator):
     # ------------------------------------------------------------------
     def _generate(self, seed: Optional[int]) -> TemporalGraph:
         graph = self.observed
-        rng = np.random.default_rng(seed if seed is not None else self.seed + 5)
+        rng = (
+            np.random.default_rng(seed)
+            if seed is not None
+            else stream(self.seed, "dymond", "generate")
+        )
         weights = self._node_weights
         assert weights is not None
         srcs: List[int] = []

@@ -18,6 +18,7 @@ from ..autograd import Tensor, binary_cross_entropy_with_logits, kl_standard_nor
 from ..nn import Linear, Module, Parameter
 from ..nn import init as nn_init
 from ..optim import Adam
+from ..rng import stream
 from .common import (
     GCNLayer,
     PerSnapshotGenerator,
@@ -88,7 +89,7 @@ class GraphiteGenerator(PerSnapshotGenerator):
         self.seed = seed
 
     def _fit_snapshot(self, num_nodes: int, timestamp: int, snapshot) -> object:
-        rng = np.random.default_rng(self.seed + 1000 + timestamp)
+        rng = stream(self.seed, "graphite", "snapshot", timestamp)
         adj_sparse = snapshot.undirected_adjacency()
         a_hat = Tensor(normalized_adjacency(adj_sparse))
         adj = adj_sparse.toarray()

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..base import TemporalGraphGenerator
 from ..graph.temporal_graph import TemporalGraph
+from ..rng import stream
 
 
 class MotifTransitionGenerator(TemporalGraphGenerator):
@@ -65,7 +66,11 @@ class MotifTransitionGenerator(TemporalGraphGenerator):
     # ------------------------------------------------------------------
     def _generate(self, seed: Optional[int]) -> TemporalGraph:
         graph = self.observed
-        rng = np.random.default_rng(seed if seed is not None else self.seed + 3)
+        rng = (
+            np.random.default_rng(seed)
+            if seed is not None
+            else stream(self.seed, "mtm", "generate")
+        )
         adjacency: dict = {}
         active: List[int] = []
         srcs: List[int] = []

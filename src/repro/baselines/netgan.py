@@ -22,6 +22,7 @@ from ..autograd import Tensor, cross_entropy_with_logits, no_grad
 from ..nn import Module, Parameter
 from ..nn import init as nn_init
 from ..optim import Adam
+from ..rng import stream
 from .common import PerSnapshotGenerator, sample_edges_from_scores
 
 
@@ -94,7 +95,7 @@ class NetGANGenerator(PerSnapshotGenerator):
         self.seed = seed
 
     def _fit_snapshot(self, num_nodes: int, timestamp: int, snapshot) -> object:
-        rng = np.random.default_rng(self.seed + 3000 + timestamp)
+        rng = stream(self.seed, "netgan", "snapshot", timestamp)
         walks = _sample_static_walks(
             num_nodes, snapshot.src, snapshot.dst, self.num_walks, self.walk_length, rng
         )

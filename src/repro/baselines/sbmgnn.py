@@ -17,6 +17,7 @@ from ..autograd import Tensor, binary_cross_entropy_with_logits, no_grad
 from ..nn import Module, Parameter
 from ..nn import init as nn_init
 from ..optim import Adam
+from ..rng import stream
 from .common import (
     GCNLayer,
     PerSnapshotGenerator,
@@ -71,7 +72,7 @@ class SBMGNNGenerator(PerSnapshotGenerator):
         self.seed = seed
 
     def _fit_snapshot(self, num_nodes: int, timestamp: int, snapshot) -> object:
-        rng = np.random.default_rng(self.seed + 2000 + timestamp)
+        rng = stream(self.seed, "sbmgnn", "snapshot", timestamp)
         adj_sparse = snapshot.undirected_adjacency()
         a_hat = Tensor(normalized_adjacency(adj_sparse))
         adj = adj_sparse.toarray()

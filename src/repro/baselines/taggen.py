@@ -26,6 +26,7 @@ from ..graph.temporal_graph import TemporalGraph
 from ..graph.walks import sample_walk_corpus, walks_to_graph
 from ..nn import MLP, Embedding, Module
 from ..optim import Adam
+from ..rng import stream
 
 TemporalNodeKey = int  # node * T + t
 
@@ -108,7 +109,7 @@ class TagGenGenerator(TemporalGraphGenerator):
         self._starts = (unique_starts, start_counts / start_counts.sum())
 
         # --- Discriminator: observed walks vs node-shuffled walks ---------
-        disc_rng = np.random.default_rng(self.seed + 1)
+        disc_rng = stream(self.seed, "taggen", "discriminator")
         disc = _WalkDiscriminator(graph.num_nodes, graph.num_timestamps, self.disc_dim, disc_rng)
         optimizer = Adam(disc.parameters(), lr=1e-2)
         sample = corpus[: min(len(corpus), 100)]
@@ -149,7 +150,11 @@ class TagGenGenerator(TemporalGraphGenerator):
 
     def _generate(self, seed: Optional[int]) -> TemporalGraph:
         graph = self.observed
-        rng = np.random.default_rng(seed if seed is not None else self.seed + 7)
+        rng = (
+            np.random.default_rng(seed)
+            if seed is not None
+            else stream(self.seed, "taggen", "generate")
+        )
         disc = self._discriminator
         walks: List[Tuple[np.ndarray, np.ndarray]] = []
         needed_edges = graph.num_edges

@@ -24,6 +24,7 @@ from ..graph.temporal_graph import TemporalGraph
 from ..graph.walks import sample_walk_corpus, walks_to_graph
 from ..nn import GRUCell, Linear, Module
 from ..optim import Adam, clip_grad_norm
+from ..rng import stream
 
 
 class _Generator(Module):
@@ -160,7 +161,11 @@ class TGGANGenerator(TemporalGraphGenerator):
         if self.generator is None or self._start_times is None:
             raise GenerationError("TGGAN generator missing after fit")
         graph = self.observed
-        rng = np.random.default_rng(seed if seed is not None else self.seed + 13)
+        rng = (
+            np.random.default_rng(seed)
+            if seed is not None
+            else stream(self.seed, "tggan", "generate")
+        )
         needed = graph.num_edges
         collected = 0
         walks: List[Tuple[np.ndarray, np.ndarray]] = []

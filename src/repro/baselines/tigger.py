@@ -21,6 +21,7 @@ from ..graph.temporal_graph import TemporalGraph
 from ..graph.walks import sample_walk_corpus, walks_to_graph
 from ..nn import Embedding, Linear, LSTMCell, Module
 from ..optim import Adam, clip_grad_norm
+from ..rng import stream
 
 
 class _TiggerModel(Module):
@@ -144,7 +145,11 @@ class TiggerGenerator(TemporalGraphGenerator):
         if self.model is None or self._start_nodes is None:
             raise GenerationError("TIGGER model missing after fit")
         graph = self.observed
-        rng = np.random.default_rng(seed if seed is not None else self.seed + 11)
+        rng = (
+            np.random.default_rng(seed)
+            if seed is not None
+            else stream(self.seed, "tigger", "generate")
+        )
         walks: List[Tuple[np.ndarray, np.ndarray]] = []
         needed = graph.num_edges
         collected = 0

@@ -17,6 +17,7 @@ from ..autograd import Tensor, binary_cross_entropy_with_logits, kl_standard_nor
 from ..nn import Module, Parameter
 from ..nn import init as nn_init
 from ..optim import Adam
+from ..rng import stream
 from .common import (
     GCNLayer,
     PerSnapshotGenerator,
@@ -74,7 +75,7 @@ class VGAEGenerator(PerSnapshotGenerator):
         self.seed = seed
 
     def _fit_snapshot(self, num_nodes: int, timestamp: int, snapshot) -> object:
-        rng = np.random.default_rng(self.seed + timestamp)
+        rng = stream(self.seed, "vgae", "snapshot", timestamp)
         # The snapshot's cached CSR (shared with metrics and the other GCN
         # baselines fitting on the same graph); densified only at the model
         # boundary (dense GCN + dense BCE target).

@@ -94,6 +94,19 @@ def _add_config(parser: argparse.ArgumentParser) -> None:
         "(0 = exact dense decoder; positive values keep fit+generate at "
         "O(E + n*C) memory for large graphs)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker count for the sharded generation engine (1 = sequential; "
+        "output is bit-identical for every worker count)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="centre rows per generation chunk (default: --initial-nodes)",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> TGAEConfig:
@@ -105,6 +118,8 @@ def _config_from(args: argparse.Namespace) -> TGAEConfig:
         learning_rate=args.learning_rate,
         seed=args.seed,
         candidate_limit=args.candidate_limit,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
     )
 
 
@@ -129,7 +144,9 @@ def cmd_fit(args: argparse.Namespace) -> int:
 
 def cmd_generate(args: argparse.Namespace) -> int:
     generator = load_generator(args.model)
-    generated = generator.generate(seed=args.seed)
+    generated = generator.generate(
+        seed=args.seed, workers=args.workers, chunk_size=args.chunk_size
+    )
     save_edge_list(generated, args.output)
     print(f"wrote {generated} to {args.output}")
     return 0
@@ -261,6 +278,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", required=True)
     p.add_argument("--output", required=True, help="output edge-list path")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override the saved config's worker count for this generation "
+        "(output is bit-identical for every worker count)",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="override the saved config's centre rows per generation chunk "
+        "(changes the chunk partitioning and therefore the draws)",
+    )
     p.set_defaults(fn=cmd_generate)
 
     p = sub.add_parser("evaluate", help="compare observed vs generated edge lists")

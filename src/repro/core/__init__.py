@@ -4,12 +4,15 @@ from .config import NO_TRUNCATION, TGAEConfig, fast_config
 from .decoder import DecoderOutput, EgoGraphDecoder
 from .encoder import TGAEEncoder
 from .engine import (
+    GenerateChunkTask,
     GenerationEngine,
+    TopKChunkTask,
     TopKScores,
     active_temporal_nodes,
     sample_rows_without_replacement,
     sample_without_replacement,
 )
+from .parallel import WorkerPayload, run_sharded
 from .generator import TGAEGenerator
 from .persistence import load_generator, save_generator
 from .loss import adjacency_target_rows, reconstruction_loss, tgae_loss
@@ -39,6 +42,10 @@ __all__ = [
     "adjacency_target_rows",
     "TGAEGenerator",
     "GenerationEngine",
+    "GenerateChunkTask",
+    "TopKChunkTask",
+    "WorkerPayload",
+    "run_sharded",
     "TopKScores",
     "active_temporal_nodes",
     "sample_rows_without_replacement",

@@ -7,6 +7,7 @@ including the switches that define the four ablation variants of Sec. IV-F.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from ..errors import ConfigError
 
@@ -67,10 +68,26 @@ class TGAEConfig:
         exactly as in the per-node path.  When ``False``, the original
         merged k-bipartite layout (cross-ego node deduplication, Fig. 4) is
         used instead.
+    workers:
+        Worker count for the sharded generation engine
+        (:mod:`repro.core.parallel`).  ``1`` (default) runs chunks as a
+        plain sequential loop; higher values fan chunks out over a pool.
+        Output is bit-identical for every worker count because each chunk
+        draws from its own spawned seed-sequence child.
+    chunk_size:
+        Centre rows per generation/score chunk.  ``None`` (default) uses
+        ``num_initial_nodes``; must be ``>= 1`` when set.
+    parallel_backend:
+        ``"process"`` (default; right for CPU-bound NumPy forwards) or
+        ``"thread"``.  The process pool degrades to threads automatically
+        where process pools are unavailable.
     epochs, learning_rate, kl_weight, grad_clip:
         Optimisation settings for Eq. 7.
     seed:
         Seed controlling parameter init and sampling during training.
+        Component streams are derived from it through the named
+        seed-sequence registry (:mod:`repro.rng`), never by adding ad-hoc
+        integer offsets.
     """
 
     radius: int = 2
@@ -87,6 +104,9 @@ class TGAEConfig:
     decode_neighbors: bool = True
     candidate_limit: int = 0
     packed_batches: bool = True
+    workers: int = 1
+    chunk_size: Optional[int] = None
+    parallel_backend: str = "process"
     epochs: int = 30
     learning_rate: float = 5e-3
     kl_weight: float = 1e-3
@@ -110,6 +130,17 @@ class TGAEConfig:
             raise ConfigError("kl_weight must be non-negative")
         if self.candidate_limit < 0:
             raise ConfigError("candidate_limit must be >= 0 (0 = dense decoder)")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigError(
+                f"chunk_size must be >= 1 when set, got {self.chunk_size}"
+            )
+        if self.parallel_backend not in ("process", "thread"):
+            raise ConfigError(
+                "parallel_backend must be 'process' or 'thread', "
+                f"got {self.parallel_backend!r}"
+            )
 
     # Convenience constructors for the ablation variants (Sec. IV-F).
     def as_random_walk_variant(self) -> "TGAEConfig":

@@ -21,6 +21,7 @@ import numpy as np
 from ..autograd import Tensor
 from ..nn import MLP, Module, Parameter
 from ..nn import init as nn_init
+from ..rng import stream
 from .config import TGAEConfig
 
 
@@ -56,7 +57,7 @@ class EgoGraphDecoder(Module):
         rng: Optional[np.random.Generator] = None,
     ) -> None:
         super().__init__()
-        rng = rng if rng is not None else np.random.default_rng(config.seed + 1)
+        rng = rng if rng is not None else stream(config.seed, "tgae", "decoder-init")
         self.config = config
         self.num_nodes = num_nodes
         hidden = config.hidden_dim
@@ -68,7 +69,9 @@ class EgoGraphDecoder(Module):
         self.latent_proj = Parameter(nn_init.xavier_uniform((latent, hidden), rng))
         self.w_dec = Parameter(nn_init.xavier_uniform((hidden, num_nodes), rng))
         self.b_dec = Parameter(nn_init.zeros((num_nodes,)))
-        self._noise_rng = np.random.default_rng(config.seed + 2)
+        # Named stream, not a seed offset: offsets collide across components
+        # the moment seeds are reused (see repro.rng).
+        self._noise_rng = stream(config.seed, "tgae", "decoder-noise")
 
     def forward(
         self,

@@ -15,10 +15,16 @@ memory model of O(E + n*C) instead of O(T * n^2):
   the ``(chunk, C)`` decoded probabilities) -- the old scatter into full
   ``(chunk, num_nodes)`` rows is gone;
 * :meth:`GenerationEngine.score_topk` replaces the dense score matrix with
-  chunked sparse ``(row, col, score)`` triples.
-
-The dense decoding path (``candidate_limit == 0``) is bit-for-bit identical
-to the pre-engine generator: same RNG consumption, same draws, same graphs.
+  chunked sparse ``(row, col, score)`` triples;
+* both :meth:`GenerationEngine.generate` and
+  :meth:`GenerationEngine.score_topk` are *sharded*: the per-timestamp
+  centre set is partitioned into chunks, every chunk owns a spawned
+  :class:`~numpy.random.SeedSequence` child (:mod:`repro.rng`), and chunks
+  run on a process/thread pool (:mod:`repro.core.parallel`) when
+  ``workers > 1``.  Because chunk streams depend only on the root seed and
+  the chunk index -- never on execution order -- output is bit-identical
+  for every worker count and backend, and ``workers=1`` is a plain
+  sequential loop over the same chunks.
 """
 
 from __future__ import annotations
@@ -29,10 +35,12 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..autograd import no_grad, softmax
-from ..errors import GenerationError
+from ..errors import ConfigError, GenerationError
 from ..graph.temporal_graph import TemporalGraph
+from ..rng import seed_sequence, spawn_streams
 from .config import TGAEConfig
 from .model import TGAEModel
+from .parallel import run_sharded
 from .sampler import EgoGraphSampler
 
 #: Rejection-sampling rounds before the exact set-difference fallback when
@@ -230,6 +238,34 @@ class TopKScores:
         return int(self.node.size)
 
 
+@dataclass(frozen=True)
+class GenerateChunkTask:
+    """One shard of the generation fan-out.
+
+    Carries only what a worker cannot derive itself: the chunk's centre
+    rows with their edge budgets (index arrays, never graph objects) and
+    the spawned seed-sequence child that makes the chunk's draws
+    independent of execution order.
+    """
+
+    index: int
+    centers: np.ndarray
+    degrees: np.ndarray
+    distinct: np.ndarray
+    seed_seq: np.random.SeedSequence
+
+
+@dataclass(frozen=True)
+class TopKChunkTask:
+    """One shard of the :meth:`GenerationEngine.score_topk` fan-out."""
+
+    index: int
+    node_ids: np.ndarray
+    timestamp: int
+    k: int
+    seed_seq: np.random.SeedSequence
+
+
 class GenerationEngine:
     """Streaming Sec. IV-G assembler over a fitted :class:`TGAEModel`.
 
@@ -370,9 +406,45 @@ class GenerationEngine:
             )[0]
 
     # ------------------------------------------------------------------
+    # Chunking / sharding knobs
+    # ------------------------------------------------------------------
+    def _resolve_chunk(self, override: Optional[int], total: int) -> int:
+        """The chunk size to shard ``total`` centres into, validated.
+
+        Precedence: explicit ``override`` argument, then
+        ``config.chunk_size``, then ``config.num_initial_nodes``.  A
+        non-positive value is a :class:`ConfigError` (the old code silently
+        masked these with ``max(..., 16)``); a chunk larger than the centre
+        count simply degrades to a single chunk.
+        """
+        size = override
+        if size is None:
+            size = self.config.chunk_size
+        if size is None:
+            size = self.config.num_initial_nodes
+        size = int(size)
+        if size < 1:
+            raise ConfigError(f"chunk size must be >= 1, got {size}")
+        if total > 0:
+            size = min(size, total)
+        return size
+
+    def _resolve_workers(self, override: Optional[int]) -> int:
+        workers = int(override if override is not None else self.config.workers)
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        return workers
+
+    # ------------------------------------------------------------------
     # Generation (Sec. IV-G)
     # ------------------------------------------------------------------
-    def generate(self, rng: np.random.Generator) -> TemporalGraph:
+    def generate(
+        self,
+        rng: np.random.Generator,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> TemporalGraph:
         """Assemble one synthetic graph matching the observed edge budgets.
 
         Every active temporal node ``(u, t)`` draws its observed number of
@@ -382,57 +454,37 @@ class GenerationEngine:
         structure survives.  In streaming mode the draw happens inside the
         candidate set -- probabilities are never scattered into full
         ``num_nodes``-wide rows.
+
+        The centre set is sharded into chunks; one root seed drawn from
+        ``rng`` spawns a seed-sequence child per chunk *before* dispatch,
+        so the generated graph depends only on ``rng``'s state and the
+        chunk partitioning -- never on ``workers`` or ``backend``.
+        ``workers``/``chunk_size``/``backend`` default to the config knobs.
         """
         graph = self.graph
         centers_all, degrees, distinct_counts = active_temporal_nodes(graph)
-        sampler = EgoGraphSampler(graph, self.config, rng)
-        streaming = self.config.candidate_limit > 0
-        src_out: List[np.ndarray] = []
-        dst_out: List[np.ndarray] = []
-        t_out: List[np.ndarray] = []
-        chunk = max(self.config.num_initial_nodes, 16)
+        total = centers_all.shape[0]
+        chunk = self._resolve_chunk(chunk_size, total)
+        workers = self._resolve_workers(workers)
+        backend = backend if backend is not None else self.config.parallel_backend
+        root = np.random.SeedSequence(int(rng.integers(np.iinfo(np.int64).max)))
+        starts = list(range(0, total, chunk))
+        children = spawn_streams(root, len(starts))
+        tasks = [
+            GenerateChunkTask(
+                index=i,
+                centers=centers_all[start : start + chunk],
+                degrees=degrees[start : start + chunk],
+                distinct=distinct_counts[start : start + chunk],
+                seed_seq=children[i],
+            )
+            for i, start in enumerate(starts)
+        ]
         self.model.eval()
-        with no_grad():
-            for start in range(0, centers_all.shape[0], chunk):
-                part = centers_all[start : start + chunk]
-                part_deg = degrees[start : start + chunk]
-                part_distinct = distinct_counts[start : start + chunk]
-                batch = sampler.inference_batch(part)
-                computation = batch.computation_batch(self.config.packed_batches)
-                if streaming:
-                    cand, allowed = self.candidates_with_mask(
-                        part, rng, min_distinct=part_distinct
-                    )
-                    decoded = self.model(computation, sample=False, candidates=cand)
-                    probs = fold_duplicate_mass(
-                        cand, softmax(decoded.logits, axis=-1).numpy()
-                    )
-                    drawn = sample_rows_without_replacement(
-                        probs, part_distinct, rng, allowed=allowed
-                    )
-                else:
-                    cand = None
-                    decoded = self.model(computation, sample=False)
-                    probs = softmax(decoded.logits, axis=-1).numpy()
-                    drawn = sample_rows_without_replacement(
-                        probs, part_distinct, rng, forbid=part[:, 0]
-                    )
-                for row, cols in enumerate(drawn):
-                    if cols.size == 0:
-                        continue
-                    node, timestamp = int(part[row, 0]), int(part[row, 1])
-                    targets = cand[row, cols] if cand is not None else cols
-                    extra = int(part_deg[row]) - targets.size
-                    if extra > 0:
-                        # Multi-edges: repeat drawn targets proportionally to
-                        # their decoded probabilities.
-                        weight = probs[row][cols]
-                        weight = weight / weight.sum() if weight.sum() > 0 else None
-                        repeats = rng.choice(targets, size=extra, p=weight)
-                        targets = np.concatenate([targets, repeats])
-                    src_out.append(np.full(targets.size, node, dtype=np.int64))
-                    dst_out.append(targets.astype(np.int64))
-                    t_out.append(np.full(targets.size, timestamp, dtype=np.int64))
+        results = run_sharded(self, "generate", tasks, workers=workers, backend=backend)
+        src_out = [src for src, _, _ in results if src.size]
+        dst_out = [dst for _, dst, _ in results if dst.size]
+        t_out = [t for _, _, t in results if t.size]
         if not src_out:
             raise GenerationError("generation produced no edges")
         return TemporalGraph(
@@ -442,6 +494,74 @@ class GenerationEngine:
             np.concatenate(t_out),
             num_timestamps=graph.num_timestamps,
             validate=False,
+        )
+
+    def generate_chunk(
+        self, task: GenerateChunkTask
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sample the edges of one centre chunk; pure given the task.
+
+        Runs in the parent (``workers=1``), in a worker thread, or in a
+        worker process against a rebuilt engine -- identically in all
+        three, because its only randomness comes from the task's spawned
+        seed-sequence child.  Returns ``(src, dst, t)`` arrays (possibly
+        empty: an empty centre shard is an explicit no-op).
+        """
+        empty = np.array([], dtype=np.int64)
+        if task.centers.shape[0] == 0:
+            return empty, empty, empty
+        rng = np.random.default_rng(task.seed_seq)
+        sampler = EgoGraphSampler(self.graph, self.config, rng)
+        streaming = self.config.candidate_limit > 0
+        part = task.centers
+        part_deg = task.degrees
+        part_distinct = task.distinct
+        src_out: List[np.ndarray] = []
+        dst_out: List[np.ndarray] = []
+        t_out: List[np.ndarray] = []
+        with no_grad():
+            batch = sampler.inference_batch(part)
+            computation = batch.computation_batch(self.config.packed_batches)
+            if streaming:
+                cand, allowed = self.candidates_with_mask(
+                    part, rng, min_distinct=part_distinct
+                )
+                decoded = self.model(computation, sample=False, candidates=cand)
+                probs = fold_duplicate_mass(
+                    cand, softmax(decoded.logits, axis=-1).numpy()
+                )
+                drawn = sample_rows_without_replacement(
+                    probs, part_distinct, rng, allowed=allowed
+                )
+            else:
+                cand = None
+                decoded = self.model(computation, sample=False)
+                probs = softmax(decoded.logits, axis=-1).numpy()
+                drawn = sample_rows_without_replacement(
+                    probs, part_distinct, rng, forbid=part[:, 0]
+                )
+        for row, cols in enumerate(drawn):
+            if cols.size == 0:
+                continue
+            node, timestamp = int(part[row, 0]), int(part[row, 1])
+            targets = cand[row, cols] if cand is not None else cols
+            extra = int(part_deg[row]) - targets.size
+            if extra > 0:
+                # Multi-edges: repeat drawn targets proportionally to
+                # their decoded probabilities.
+                weight = probs[row][cols]
+                weight = weight / weight.sum() if weight.sum() > 0 else None
+                repeats = rng.choice(targets, size=extra, p=weight)
+                targets = np.concatenate([targets, repeats])
+            src_out.append(np.full(targets.size, node, dtype=np.int64))
+            dst_out.append(targets.astype(np.int64))
+            t_out.append(np.full(targets.size, timestamp, dtype=np.int64))
+        if not src_out:
+            return empty, empty, empty
+        return (
+            np.concatenate(src_out),
+            np.concatenate(dst_out),
+            np.concatenate(t_out),
         )
 
     # ------------------------------------------------------------------
@@ -465,14 +585,19 @@ class GenerationEngine:
         k: int,
         timestamps: Optional[List[int]] = None,
         chunk: Optional[int] = None,
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> TopKScores:
         """Chunked top-``k`` decoded scores as sparse triples.
 
-        Iterates centres ``(u, t)`` in chunks, decodes each chunk once (over
-        candidate sets in streaming mode, the full universe otherwise) and
-        keeps only the ``k`` highest-probability targets per centre -- peak
-        memory is O(chunk * max(C, n)) while the output is O(n * k) triples,
-        never an ``(n, T, n)`` tensor.
+        Shards centres ``(u, t)`` into per-timestamp chunks, decodes each
+        chunk once (over candidate sets in streaming mode, the full
+        universe otherwise) and keeps only the ``k`` highest-probability
+        targets per centre -- peak memory is O(chunk * max(C, n)) while the
+        output is O(n * k) triples, never an ``(n, T, n)`` tensor.  Chunks
+        draw from seed-sequence children spawned off the named
+        ``(seed, "tgae", "score-topk")`` stream, so the triples are
+        bit-identical for every worker count and backend.
         """
         if k < 1:
             raise GenerationError(f"k must be >= 1, got {k}")
@@ -480,51 +605,29 @@ class GenerationEngine:
         stamps = (
             list(timestamps) if timestamps is not None else list(range(graph.num_timestamps))
         )
-        rng = np.random.default_rng(self.config.seed + 23)
-        sampler = EgoGraphSampler(graph, self.config, rng)
-        step = chunk if chunk is not None else max(self.config.num_initial_nodes, 16)
-        streaming = self.config.candidate_limit > 0
-        nodes_out: List[np.ndarray] = []
-        stamps_out: List[np.ndarray] = []
-        targets_out: List[np.ndarray] = []
-        scores_out: List[np.ndarray] = []
+        step = self._resolve_chunk(chunk, graph.num_nodes)
+        workers = self._resolve_workers(workers)
+        backend = backend if backend is not None else self.config.parallel_backend
+        root = seed_sequence(self.config.seed, "tgae", "score-topk")
+        specs = [
+            (timestamp, np.arange(start, min(start + step, graph.num_nodes)))
+            for timestamp in stamps
+            for start in range(0, graph.num_nodes, step)
+        ]
+        children = spawn_streams(root, len(specs))
+        tasks = [
+            TopKChunkTask(
+                index=i, node_ids=node_ids, timestamp=int(timestamp), k=k,
+                seed_seq=children[i],
+            )
+            for i, (timestamp, node_ids) in enumerate(specs)
+        ]
         self.model.eval()
-        with no_grad():
-            for timestamp in stamps:
-                for start in range(0, graph.num_nodes, step):
-                    node_ids = np.arange(start, min(start + step, graph.num_nodes))
-                    part = np.stack(
-                        [node_ids, np.full(node_ids.size, timestamp)], axis=1
-                    )
-                    batch = sampler.inference_batch(part)
-                    computation = batch.computation_batch(self.config.packed_batches)
-                    if streaming:
-                        cand = self.candidate_batch(part, rng)
-                        decoded = self.model(computation, sample=False, candidates=cand)
-                        # Fold duplicate-slot mass so each target appears once
-                        # and the row remains a proper distribution.
-                        probs = fold_duplicate_mass(
-                            cand, softmax(decoded.logits, axis=-1).numpy()
-                        )
-                    else:
-                        cand = None
-                        decoded = self.model(computation, sample=False)
-                        probs = softmax(decoded.logits, axis=-1).numpy()
-                    kk = min(k, probs.shape[1])
-                    top = np.argpartition(-probs, kk - 1, axis=1)[:, :kk]
-                    top_scores = np.take_along_axis(probs, top, axis=1)
-                    order = np.argsort(-top_scores, axis=1, kind="stable")
-                    top = np.take_along_axis(top, order, axis=1)
-                    top_scores = np.take_along_axis(top_scores, order, axis=1)
-                    columns = (
-                        np.take_along_axis(cand, top, axis=1) if cand is not None else top
-                    )
-                    keep = top_scores > 0
-                    rows = np.repeat(node_ids, kk).reshape(node_ids.size, kk)
-                    nodes_out.append(rows[keep])
-                    stamps_out.append(np.full(int(keep.sum()), timestamp, dtype=np.int64))
-                    targets_out.append(columns[keep])
-                    scores_out.append(top_scores[keep])
+        results = run_sharded(self, "topk", tasks, workers=workers, backend=backend)
+        nodes_out = [nodes for nodes, _, _, _ in results]
+        stamps_out = [stamps_ for _, stamps_, _, _ in results]
+        targets_out = [targets for _, _, targets, _ in results]
+        scores_out = [scores for _, _, _, scores in results]
         return TopKScores(
             node=np.concatenate(nodes_out) if nodes_out else np.empty(0, dtype=np.int64),
             timestamp=(
@@ -536,4 +639,53 @@ class GenerationEngine:
             score=(
                 np.concatenate(scores_out) if scores_out else np.empty(0, dtype=np.float64)
             ),
+        )
+
+    def topk_chunk(
+        self, task: TopKChunkTask
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Top-``k`` triples for one ``(timestamp, node chunk)`` shard.
+
+        Pure given the task (all randomness from its seed-sequence child);
+        returns ``(nodes, timestamps, targets, scores)`` arrays.
+        """
+        empty = np.array([], dtype=np.int64)
+        node_ids = np.asarray(task.node_ids, dtype=np.int64)
+        if node_ids.size == 0:
+            return empty, empty, empty, np.array([], dtype=np.float64)
+        rng = np.random.default_rng(task.seed_seq)
+        sampler = EgoGraphSampler(self.graph, self.config, rng)
+        streaming = self.config.candidate_limit > 0
+        part = np.stack([node_ids, np.full(node_ids.size, task.timestamp)], axis=1)
+        with no_grad():
+            batch = sampler.inference_batch(part)
+            computation = batch.computation_batch(self.config.packed_batches)
+            if streaming:
+                cand = self.candidate_batch(part, rng)
+                decoded = self.model(computation, sample=False, candidates=cand)
+                # Fold duplicate-slot mass so each target appears once
+                # and the row remains a proper distribution.
+                probs = fold_duplicate_mass(
+                    cand, softmax(decoded.logits, axis=-1).numpy()
+                )
+            else:
+                cand = None
+                decoded = self.model(computation, sample=False)
+                probs = softmax(decoded.logits, axis=-1).numpy()
+        kk = min(task.k, probs.shape[1])
+        top = np.argpartition(-probs, kk - 1, axis=1)[:, :kk]
+        top_scores = np.take_along_axis(probs, top, axis=1)
+        order = np.argsort(-top_scores, axis=1, kind="stable")
+        top = np.take_along_axis(top, order, axis=1)
+        top_scores = np.take_along_axis(top_scores, order, axis=1)
+        columns = (
+            np.take_along_axis(cand, top, axis=1) if cand is not None else top
+        )
+        keep = top_scores > 0
+        rows = np.repeat(node_ids, kk).reshape(node_ids.size, kk)
+        return (
+            rows[keep],
+            np.full(int(keep.sum()), task.timestamp, dtype=np.int64),
+            columns[keep],
+            top_scores[keep],
         )

@@ -16,8 +16,9 @@ from typing import List, Optional
 import numpy as np
 
 from ..base import TemporalGraphGenerator
-from ..errors import GenerationError
+from ..errors import GenerationError, NotFittedError
 from ..graph.temporal_graph import TemporalGraph
+from ..rng import stream
 from .config import TGAEConfig
 from .engine import (
     GenerationEngine,
@@ -101,9 +102,32 @@ class TGAEGenerator(TemporalGraphGenerator):
             raise GenerationError("internal error: model missing after fit")
         return GenerationEngine(self.model, graph, self.config)
 
+    def _generation_rng(self, seed: Optional[int]) -> np.random.Generator:
+        """The generation stream: explicit seed, or the named default stream."""
+        if seed is not None:
+            return np.random.default_rng(seed)
+        return stream(self.config.seed, "tgae", "generate")
+
+    def generate(
+        self,
+        seed: Optional[int] = None,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> TemporalGraph:
+        """Sample a synthetic temporal graph mimicking the observed one.
+
+        ``workers``/``chunk_size`` override the config's sharding knobs for
+        this call (see :class:`~repro.core.engine.GenerationEngine`); the
+        output is bit-identical for every worker count.
+        """
+        if self._observed is None:
+            raise NotFittedError(f"{type(self).__name__} has not been fitted")
+        return self.engine().generate(
+            self._generation_rng(seed), workers=workers, chunk_size=chunk_size
+        )
+
     def _generate(self, seed: Optional[int]) -> TemporalGraph:
-        rng = np.random.default_rng(seed if seed is not None else self.config.seed + 17)
-        return self.engine().generate(rng)
+        return self.engine().generate(self._generation_rng(seed))
 
     def _generation_candidates(
         self,
@@ -122,14 +146,18 @@ class TGAEGenerator(TemporalGraphGenerator):
     # Score inspection
     # ------------------------------------------------------------------
     def score_topk(
-        self, k: int, timestamps: Optional[List[int]] = None
+        self,
+        k: int,
+        timestamps: Optional[List[int]] = None,
+        workers: Optional[int] = None,
     ) -> TopKScores:
         """Top-``k`` decoded edge scores as sparse ``(row, col, score)`` triples.
 
-        The scalable replacement for the dense score matrix: chunked
-        decoding, O(n * k) output, no ``(n, T, n)`` tensor.
+        The scalable replacement for the dense score matrix: sharded
+        decoding, O(n * k) output, no ``(n, T, n)`` tensor; ``workers``
+        fans the chunks out without changing the triples.
         """
-        return self.engine().score_topk(k, timestamps=timestamps)
+        return self.engine().score_topk(k, timestamps=timestamps, workers=workers)
 
     def score_matrix(self, timestamps: Optional[List[int]] = None) -> np.ndarray:
         """Dense score matrix ``S`` rows for inspection.
@@ -142,7 +170,7 @@ class TGAEGenerator(TemporalGraphGenerator):
             raise GenerationError("generator is not fitted")
         graph = self.observed
         stamps = timestamps if timestamps is not None else list(range(graph.num_timestamps))
-        rng = np.random.default_rng(self.config.seed + 23)
+        rng = stream(self.config.seed, "tgae", "score-matrix")
         sampler = EgoGraphSampler(graph, self.config, rng)
         engine = self.engine()
         scores = np.zeros((graph.num_nodes, len(stamps), graph.num_nodes))

@@ -1,0 +1,205 @@
+"""Sharded parallel execution of generation-engine chunk tasks.
+
+The streaming :class:`~repro.core.engine.GenerationEngine` already splits
+its work -- one encoder forward + candidate decode per chunk of active
+temporal nodes -- into independent units: every chunk owns a spawned
+:class:`~numpy.random.SeedSequence` child (see :mod:`repro.rng`), touches
+only its own centre rows, and returns plain arrays.  This module fans those
+units out across a pool:
+
+* ``backend="process"`` (default) runs chunks in worker *processes* -- the
+  right choice for the CPU-bound NumPy forward passes, which the GIL would
+  serialise under threads.  Each worker rebuilds the model/graph once from a
+  :class:`WorkerPayload` of plain arrays shipped through the pool
+  initializer; per-task messages carry only index arrays and a seed-sequence
+  child, never graph or model objects.
+* ``backend="thread"`` shares the live engine across a thread pool -- the
+  fallback for environments where process pools are unavailable (no POSIX
+  semaphores, restricted sandboxes); the process backend degrades to it
+  automatically.
+* ``workers=1`` bypasses pools entirely and runs the chunks as a plain
+  in-process loop -- the exact sequential path.
+
+Because chunk streams are spawned from one root before any dispatch and
+results are merged in chunk order, the three execution modes are
+**bit-identical**: worker count and backend change wall-clock time, never
+output.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..graph.temporal_graph import TemporalGraph
+from .config import TGAEConfig
+
+__all__ = ["BACKENDS", "WorkerPayload", "payload_from_engine", "run_sharded"]
+
+#: Supported executor backends, in order of preference.
+BACKENDS = ("process", "thread")
+
+
+@dataclass(frozen=True)
+class WorkerPayload:
+    """Everything a worker process needs, reduced to plain picklable data.
+
+    Shipped once per worker through the pool initializer (cheap under
+    ``fork``, a single pickle under ``spawn``); the worker rebuilds the
+    model from its ``state_dict`` and the graph from its edge arrays, the
+    same way :func:`repro.core.persistence.load_generator` does.
+    """
+
+    state: Dict[str, np.ndarray]
+    config: TGAEConfig
+    num_nodes: int
+    num_timestamps: int
+    src: np.ndarray
+    dst: np.ndarray
+    t: np.ndarray
+    external_features: Optional[np.ndarray]
+
+
+def payload_from_engine(engine: Any) -> WorkerPayload:
+    """Flatten a live :class:`~repro.core.engine.GenerationEngine` into arrays."""
+    graph = engine.graph
+    return WorkerPayload(
+        state=engine.model.state_dict(),
+        config=engine.config,
+        num_nodes=graph.num_nodes,
+        num_timestamps=graph.num_timestamps,
+        src=graph.src,
+        dst=graph.dst,
+        t=graph.t,
+        external_features=engine.model.encoder._external_features,
+    )
+
+
+#: Per-process engine rebuilt by :func:`_init_worker`; ``None`` in the parent.
+_WORKER_ENGINE: Optional[Any] = None
+
+
+def _init_worker(payload: WorkerPayload) -> None:
+    """Pool initializer: rebuild the engine once per worker process."""
+    global _WORKER_ENGINE
+    from .engine import GenerationEngine
+    from .model import TGAEModel
+
+    graph = TemporalGraph(
+        payload.num_nodes,
+        payload.src,
+        payload.dst,
+        payload.t,
+        num_timestamps=payload.num_timestamps,
+        validate=False,
+    )
+    feature_dim = (
+        payload.external_features.shape[-1]
+        if payload.external_features is not None
+        else 0
+    )
+    model = TGAEModel(
+        payload.num_nodes, payload.num_timestamps, payload.config,
+        feature_dim=feature_dim,
+    )
+    model.load_state_dict(payload.state)
+    if payload.external_features is not None:
+        model.encoder.set_external_features(payload.external_features)
+    model.eval()
+    _WORKER_ENGINE = GenerationEngine(model, graph, payload.config)
+
+
+def _run_on(engine: Any, kind: str, task: Any) -> Any:
+    """Execute one chunk task against an engine instance."""
+    if engine is None:
+        raise RuntimeError("worker engine was not initialised")
+    if kind == "generate":
+        return engine.generate_chunk(task)
+    if kind == "topk":
+        return engine.topk_chunk(task)
+    raise ValueError(f"unknown sharded task kind {kind!r}")
+
+
+def _run_remote(kind: str, task: Any) -> Any:
+    """Module-level trampoline executed inside pool worker processes."""
+    return _run_on(_WORKER_ENGINE, kind, task)
+
+
+def _run_threads(engine: Any, kind: str, tasks: Sequence[Any], workers: int) -> List[Any]:
+    # Pre-build the shared lazy graph caches before fan-out so worker
+    # threads only ever read them: the partner CSR (candidate assembly),
+    # the incidence structure (ego sampling) and the snapshot time order.
+    if engine.graph.num_edges:
+        engine.graph.out_partner_groups()
+        engine.graph.incidence
+        engine.graph._snapshot_order_bounds()
+    with ThreadPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        return list(pool.map(lambda task: _run_on(engine, kind, task), tasks))
+
+
+def _run_processes(engine: Any, kind: str, tasks: Sequence[Any], workers: int) -> List[Any]:
+    payload = payload_from_engine(engine)
+    # fork skips model re-pickling and re-import; fall back to the platform
+    # default (spawn on macOS/Windows) where fork is unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(tasks)),
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(payload,),
+    ) as pool:
+        return list(pool.map(partial(_run_remote, kind), tasks))
+
+
+def run_sharded(
+    engine: Any,
+    kind: str,
+    tasks: Sequence[Any],
+    workers: int,
+    backend: str = "process",
+) -> List[Any]:
+    """Run chunk ``tasks`` on ``workers`` workers; results in task order.
+
+    ``workers=1`` (or a single task) short-circuits to a plain loop over
+    the live engine -- no pool, no payload copy, today's sequential path.
+    The process backend degrades to threads when the platform cannot build
+    a process pool (missing semaphores, unpicklable payload); the result is
+    bit-identical either way because every task carries its own spawned
+    seed-sequence child.
+    """
+    if backend not in BACKENDS:
+        raise ConfigError(
+            f"parallel backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    tasks = list(tasks)
+    if workers == 1 or len(tasks) <= 1:
+        return [_run_on(engine, kind, task) for task in tasks]
+    if backend == "thread":
+        return _run_threads(engine, kind, tasks, workers)
+    try:
+        return _run_processes(engine, kind, tasks, workers)
+    except (OSError, BrokenProcessPool, pickle.PicklingError) as exc:
+        # Pool-infrastructure failures (no POSIX semaphores, forbidden
+        # fork, crashed/OOM-killed worker, unpicklable payload).  Domain
+        # errors (GenerationError/ConfigError) propagate untouched.  The
+        # retry is loud so a dying process backend cannot hide behind a
+        # silently slower thread run.
+        warnings.warn(
+            f"process-pool backend failed ({type(exc).__name__}: {exc}); "
+            "retrying on the thread backend",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _run_threads(engine, kind, tasks, workers)

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..graph.temporal_graph import TemporalGraph
 from ..optim import Adam, clip_grad_norm
+from ..rng import stream
 from .config import TGAEConfig
 from .loss import tgae_loss
 from .model import TGAEModel
@@ -45,7 +46,7 @@ def train_tgae(
     optimisation actually made progress.
     """
     config = config if config is not None else model.config
-    rng = rng if rng is not None else np.random.default_rng(config.seed + 3)
+    rng = rng if rng is not None else stream(config.seed, "tgae", "trainer")
     sampler = EgoGraphSampler(graph, config, rng)
     optimizer = Adam(model.parameters(), lr=config.learning_rate)
     history = TrainingHistory()

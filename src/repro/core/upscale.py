@@ -36,10 +36,13 @@ import numpy as np
 from ..base import TemporalGraphGenerator
 from ..errors import ConfigError, GenerationError
 from ..graph.temporal_graph import TemporalGraph
+from ..rng import seed_sequence
 
 
 def expand_temporal_graph(
-    graph: TemporalGraph, factor: int, seed: Optional[int] = None
+    graph: TemporalGraph,
+    factor: int,
+    seed: "Optional[int | np.random.SeedSequence]" = None,
 ) -> TemporalGraph:
     """Clone-expand a temporal graph by an integer ``factor``.
 
@@ -113,5 +116,7 @@ class UpscaledGenerator(TemporalGraphGenerator):
         generated = self.base.generate(seed=seed)
         if generated.num_edges == 0:
             raise GenerationError("base generator produced an empty graph")
-        expand_seed = None if seed is None else seed + 1_000_003
+        # Named child stream of the user seed -- an integer offset here
+        # would collide with the base generator's own stream for some seeds.
+        expand_seed = None if seed is None else seed_sequence(seed, "upscale", "expand")
         return expand_temporal_graph(generated, self.factor, seed=expand_seed)

@@ -1,11 +1,16 @@
 """Tests for the streaming O(E) generation engine.
 
-Three layers of evidence that the refactor changed the memory model, not
-the distribution:
+Three layers of evidence that the engine refactors changed the memory
+model, not the distribution:
 
-* the dense decoding path reproduces the *pre-refactor* generator
-  bit-for-bit (golden sha256 fingerprints captured before the engine
-  extraction, at fixed training and generation seeds);
+* the dense decoding path reproduces pinned golden sha256 fingerprints at
+  fixed training and generation seeds.  The fingerprints were recaptured
+  when the RNG scheme moved to the named seed-sequence registry
+  (``repro.rng``) with per-chunk spawned streams -- equivalence of the
+  engine's draws to the pre-engine generator was certified by the previous
+  generation of these constants before that migration; today's constants
+  pin the registry-era draws, which are additionally bit-identical for
+  every worker count (``tests/test_core_parallel.py``);
 * within-candidate masked sampling is distribution-identical to the old
   scatter-into-full-rows path (empirical frequencies over thousands of
   vectorised trials);
@@ -32,13 +37,15 @@ from repro.datasets import communication_network
 from repro.errors import GenerationError, NotFittedError
 from repro.graph import TemporalGraph, validate_generated
 
-# Captured from the pre-engine TGAEGenerator._generate (dense path) on
-# communication_network(25, 150, 5, seed=17) with
-# fast_config(epochs=3, num_initial_nodes=12): sha256 of the lexsorted
-# (t, src, dst) triples.  The engine must reproduce these draws exactly.
+# Dense-path fingerprints on communication_network(25, 150, 5, seed=17)
+# with fast_config(epochs=3, num_initial_nodes=12): sha256 of the lexsorted
+# (t, src, dst) triples.  Captured under the seed-sequence RNG registry
+# (named training/noise streams, per-chunk spawned generation streams); any
+# unintended change to training draws, chunking, or stream derivation shows
+# up here as a mismatch.
 GOLDEN_DENSE = {
-    0: "0a7de707e30843f916ec6ee85d91f3176285be144b16dbc5ad92acdfec1c2603",
-    7: "4a44e03e932abde6ef95ba89807ce68cca26c859e998ebaa81d7e1846d51b3b4",
+    0: "bb80bc0ac0b5f9521ba98c3717773c2ea93663e4b6e2f18cd9f9bc6554e5d87b",
+    7: "c8262954cafe55e83c5b9621e54836f2faea4e558233d4cb297bbc95be085052",
 }
 
 
@@ -59,7 +66,7 @@ def dense_fitted(observed):
 
 
 class TestDensePathGolden:
-    """The engine's dense path is the pre-refactor generator, draw for draw."""
+    """The dense path reproduces its pinned registry-era draws exactly."""
 
     @pytest.mark.parametrize("seed", sorted(GOLDEN_DENSE))
     def test_matches_pre_refactor_output(self, dense_fitted, seed):
