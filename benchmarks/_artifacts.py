@@ -1,0 +1,53 @@
+"""Machine-readable benchmark artifacts (``BENCH_*.json``).
+
+Each benchmark function records its headline numbers under a named section
+of a JSON artifact in the working directory (or ``REPRO_BENCH_ARTIFACT_DIR``).
+CI uploads the files, giving the repository a perf trajectory that future
+PRs can diff and assert against instead of re-deriving baselines from logs.
+
+The file is merged, not overwritten: several benchmark functions (and
+several pytest invocations) can each contribute their own section.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Dict
+
+SCHEMA_VERSION = 1
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        return os.cpu_count() or 1
+
+
+def write_bench_artifact(filename: str, section: str, payload: Dict[str, Any]) -> str:
+    """Merge ``payload`` into ``filename`` under ``section``; return the path."""
+    directory = os.environ.get("REPRO_BENCH_ARTIFACT_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, filename)
+    record: Dict[str, Any] = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            record = {}
+    record.setdefault("schema", SCHEMA_VERSION)
+    record["environment"] = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cores": _available_cores(),
+    }
+    record["written_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    record.setdefault("results", {})[section] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -1,0 +1,218 @@
+"""Training-side perf gates: checkpointed attention + data-parallel shards.
+
+PR 3 parallelised *generation*; training remained a single-process loop
+whose peak memory is dominated by the O(batch * ego^2) per-edge attention
+activations.  This benchmark gates the two training levers that close that
+gap, and records the numbers into ``BENCH_training.json``:
+
+* ``bench_training_checkpoint_memory`` -- activation checkpointing
+  (``checkpoint_attention=True``) must cut measured peak training memory by
+  at least :data:`MEMORY_CUT_FLOOR` while reproducing the plain loss
+  trajectory **bit for bit** (checkpointing is exact: the recompute replays
+  identical full-shape operations).
+* ``bench_training_parallel_speedup`` -- sharded training at ``workers=4``
+  vs ``workers=1``.  Bit-identity of the loss/grad-norm trajectory and the
+  final weights is asserted always; the wall-clock speedup floor only when
+  the machine actually exposes >= 4 cores (set
+  ``REPRO_BENCH_REQUIRE_SPEEDUP=1`` to force it).
+* ``bench_training_parallel_smoke`` -- the CI gate: workers=2 with
+  checkpointing on, bit-identical to the sequential plain-memory run.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from _artifacts import write_bench_artifact
+from repro.core import TGAEModel, fast_config, train_tgae
+from repro.datasets import communication_network
+
+#: Checkpointing must cut peak traced training memory by at least this much.
+MEMORY_CUT_FLOOR = 0.40
+
+PARALLEL_WORKERS = 4
+SPEEDUP_FLOOR = 1.3
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        return os.cpu_count() or 1
+
+
+def _train(observed, config, workers=1, track_memory=False):
+    model = TGAEModel(observed.num_nodes, observed.num_timestamps, config)
+    history = train_tgae(
+        model, observed, config, workers=workers, track_memory=track_memory
+    )
+    return history, model.state_dict()
+
+
+def _assert_same_trajectory(run_a, run_b, label):
+    history_a, state_a = run_a
+    history_b, state_b = run_b
+    assert history_a.losses == history_b.losses, (
+        f"{label}: loss trajectories diverged\n"
+        f"a={history_a.losses}\nb={history_b.losses}"
+    )
+    assert history_a.grad_norms == history_b.grad_norms, (
+        f"{label}: gradient-norm trajectories diverged"
+    )
+    for name in state_a:
+        assert np.array_equal(state_a[name], state_b[name]), (
+            f"{label}: final weights diverged at {name!r}"
+        )
+
+
+def bench_training_checkpoint_memory():
+    """Checkpointed attention: >= 40% peak-memory cut, bit-identical losses."""
+    observed = communication_network(300, 3000, 5, seed=5)
+    base = fast_config(
+        epochs=2,
+        num_initial_nodes=48,
+        neighbor_threshold=20,
+        candidate_limit=24,
+        num_heads=4,
+        hidden_dim=32,
+        time_dim=8,
+        train_shard_size=48,
+        seed=7,
+    )
+    import dataclasses
+
+    plain = _train(observed, base, track_memory=True)
+    checkpointed = _train(
+        observed,
+        dataclasses.replace(base, checkpoint_attention=True),
+        track_memory=True,
+    )
+    plain_peak = plain[0].peak_memory
+    ckpt_peak = checkpointed[0].peak_memory
+    cut = 1.0 - ckpt_peak / plain_peak
+    print(
+        f"\n=== checkpointed attention @ n={observed.num_nodes}, "
+        f"batch={base.num_initial_nodes}, th={base.neighbor_threshold} ===\n"
+        f"peak plain: {plain_peak / 1e6:6.2f} MB   "
+        f"peak checkpointed: {ckpt_peak / 1e6:6.2f} MB   cut: {cut:.1%}\n"
+        f"epoch time plain: {np.mean(plain[0].epoch_seconds):.2f}s   "
+        f"checkpointed: {np.mean(checkpointed[0].epoch_seconds):.2f}s"
+    )
+    _assert_same_trajectory(plain, checkpointed, "checkpoint-vs-plain")
+    assert cut >= MEMORY_CUT_FLOOR, (
+        f"checkpointing cut peak memory by only {cut:.1%} "
+        f"({plain_peak} -> {ckpt_peak} B); floor is {MEMORY_CUT_FLOOR:.0%}"
+    )
+    write_bench_artifact(
+        "BENCH_training.json",
+        "checkpoint_memory",
+        {
+            "peak_plain_bytes": int(plain_peak),
+            "peak_checkpointed_bytes": int(ckpt_peak),
+            "cut_fraction": round(cut, 4),
+            "epoch_seconds_plain": round(float(np.mean(plain[0].epoch_seconds)), 4),
+            "epoch_seconds_checkpointed": round(
+                float(np.mean(checkpointed[0].epoch_seconds)), 4
+            ),
+            "bit_identical": True,
+            "floor": MEMORY_CUT_FLOOR,
+        },
+    )
+
+
+def bench_training_parallel_speedup():
+    """Sharded training workers=4 vs workers=1: identity always, speed on cores."""
+    observed = communication_network(600, 6000, 5, seed=3)
+    config = fast_config(
+        epochs=6,
+        num_initial_nodes=64,
+        neighbor_threshold=16,
+        candidate_limit=24,
+        num_heads=4,
+        hidden_dim=32,
+        train_shard_size=16,
+        seed=9,
+    )
+    start = time.perf_counter()
+    sequential = _train(observed, config, workers=1)
+    seq_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = _train(observed, config, workers=PARALLEL_WORKERS)
+    par_s = time.perf_counter() - start
+    speedup = seq_s / par_s
+    cores = _available_cores()
+    print(
+        f"\n=== data-parallel training @ n={observed.num_nodes}, "
+        f"{config.epochs} epochs, shard={config.train_shard_size} ===\n"
+        f"workers=1: {seq_s:6.2f}s   workers={PARALLEL_WORKERS}: {par_s:6.2f}s   "
+        f"speedup: {speedup:.2f}x   (cores available: {cores})"
+    )
+    _assert_same_trajectory(sequential, parallel, "workers-1-vs-4")
+    enforced = cores >= PARALLEL_WORKERS or bool(
+        os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP")
+    )
+    if enforced:
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"workers={PARALLEL_WORKERS} training speedup {speedup:.2f}x below "
+            f"the {SPEEDUP_FLOOR}x floor on {cores} cores"
+        )
+    else:
+        print(
+            f"only {cores} core(s) exposed -- speedup floor not asserted "
+            "(bit-identity still verified)"
+        )
+    write_bench_artifact(
+        "BENCH_training.json",
+        "parallel_speedup",
+        {
+            "workers": PARALLEL_WORKERS,
+            "seconds_workers_1": round(seq_s, 4),
+            "seconds_workers_n": round(par_s, 4),
+            "speedup": round(speedup, 4),
+            "cores": cores,
+            "floor_enforced": enforced,
+            "bit_identical": True,
+        },
+    )
+
+
+def bench_training_parallel_smoke():
+    """CI gate: workers=N + checkpointing reproduce the plain sequential run."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+    observed = communication_network(120, 900, 4, seed=2)
+    base = fast_config(
+        epochs=3,
+        num_initial_nodes=24,
+        candidate_limit=12,
+        train_shard_size=6,
+        seed=4,
+    )
+    import dataclasses
+
+    start = time.perf_counter()
+    sequential = _train(observed, base, workers=1)
+    seq_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = _train(
+        observed,
+        dataclasses.replace(base, checkpoint_attention=True),
+        workers=workers,
+    )
+    par_s = time.perf_counter() - start
+    print(
+        f"\ntraining smoke @ n={observed.num_nodes}: workers=1 plain {seq_s:.2f}s, "
+        f"workers={workers} checkpointed {par_s:.2f}s"
+    )
+    _assert_same_trajectory(sequential, parallel, "smoke")
+    write_bench_artifact(
+        "BENCH_training.json",
+        "smoke",
+        {
+            "workers": workers,
+            "seconds_workers_1": round(seq_s, 4),
+            "seconds_workers_n": round(par_s, 4),
+            "checkpoint_attention": True,
+            "bit_identical": True,
+        },
+    )

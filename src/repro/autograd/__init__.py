@@ -21,7 +21,18 @@ from .ops import (
     segment_softmax,
     softmax,
 )
-from .tensor import Tensor, concat, is_grad_enabled, no_grad, ones, stack, tensor, zeros
+from .tensor import (
+    Tensor,
+    checkpoint,
+    concat,
+    enable_grad,
+    is_grad_enabled,
+    no_grad,
+    ones,
+    stack,
+    tensor,
+    zeros,
+)
 
 __all__ = [
     "Tensor",
@@ -31,7 +42,9 @@ __all__ = [
     "concat",
     "stack",
     "no_grad",
+    "enable_grad",
     "is_grad_enabled",
+    "checkpoint",
     "softmax",
     "log_softmax",
     "logsumexp",

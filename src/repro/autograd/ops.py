@@ -13,6 +13,7 @@ import numpy as np
 
 from ..errors import ShapeError
 from .tensor import Tensor
+from .tensor import checkpoint as _checkpoint
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -28,7 +29,12 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 
-def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+def segment_softmax(
+    scores: Tensor,
+    segment_ids: np.ndarray,
+    num_segments: int,
+    checkpoint: bool = False,
+) -> Tensor:
     """Softmax over groups of rows sharing a segment id.
 
     This implements the attention normalisation of Eq. 5: each edge score is
@@ -44,10 +50,25 @@ def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) 
         Integer array mapping each row of ``scores`` to its target segment.
     num_segments:
         Total number of segments (target nodes).
+    checkpoint:
+        Recompute-in-backward mode: keep only the normalised output alive
+        instead of the ~4 per-edge intermediates (shifted scores, their
+        exponentials, the gathered denominators), re-deriving them during
+        the backward pass.  Values and gradients are bit-identical to the
+        plain path (see :func:`repro.autograd.checkpoint`).
     """
     ids = np.asarray(segment_ids, dtype=np.int64)
     if ids.ndim != 1 or ids.shape[0] != scores.shape[0]:
         raise ShapeError("segment_ids must be 1-D and match scores rows")
+    if checkpoint:
+        return _checkpoint(
+            lambda s: _segment_softmax_impl(s, ids, num_segments), scores
+        )
+    return _segment_softmax_impl(scores, ids, num_segments)
+
+
+def _segment_softmax_impl(scores: Tensor, ids: np.ndarray, num_segments: int) -> Tensor:
+    """The recorded segment-softmax kernel shared by both modes."""
     # Per-segment max for stability, computed outside the graph.
     seg_max = np.full((num_segments,) + scores.shape[1:], -np.inf, dtype=scores.data.dtype)
     np.maximum.at(seg_max, ids, scores.data)
@@ -109,15 +130,25 @@ def binary_cross_entropy_with_logits(
     return loss.mean()
 
 
-def kl_standard_normal(mu: Tensor, log_sigma: Tensor) -> Tensor:
+def kl_standard_normal(
+    mu: Tensor, log_sigma: Tensor, scale: Optional[float] = None
+) -> Tensor:
     """KL( N(mu, sigma^2) || N(0, 1) ), mean over rows.
 
     This is the regulariser of Eq. 6; ``log_sigma`` parameterises the scale to
     keep the optimisation unconstrained.
+
+    ``scale`` replaces the ``1 / rows`` of the mean with an explicit factor,
+    which is how the sharded trainer makes per-shard KL terms additive: each
+    shard contributes ``row_sums.sum() * (1 / total_rows)`` so the sum over
+    shards equals the global mean.  ``None`` keeps the plain per-call mean.
     """
     sigma_sq = (log_sigma * 2.0).exp()
     per_element = 0.5 * (sigma_sq + mu * mu - 1.0 - log_sigma * 2.0)
-    return per_element.sum(axis=-1).mean()
+    per_row = per_element.sum(axis=-1)
+    if scale is None:
+        return per_row.mean()
+    return per_row.sum() * scale
 
 
 def mse(prediction: Tensor, target: np.ndarray) -> Tensor:

@@ -54,6 +54,21 @@ def no_grad():
         _grad_mode.enabled = previous
 
 
+@contextlib.contextmanager
+def enable_grad():
+    """Context manager that re-enables graph recording inside :func:`no_grad`.
+
+    Needed by :func:`checkpoint`, whose backward recomputation must record a
+    graph even when the surrounding backward pass runs without one.
+    """
+    previous = _grad_mode.enabled
+    _grad_mode.enabled = True
+    try:
+        yield
+    finally:
+        _grad_mode.enabled = previous
+
+
 def is_grad_enabled() -> bool:
     """Return whether operations currently record the autograd graph."""
     return _grad_mode.enabled
@@ -461,6 +476,69 @@ class Tensor:
         data = np.zeros(out_shape, dtype=self.data.dtype)
         np.add.at(data, ids, self.data)
         return Tensor._from_op(data, (self,), (lambda g: g[ids],), "segment_sum")
+
+
+def checkpoint(fn: Callable[..., Tensor], *inputs: Tensor) -> Tensor:
+    """Activation checkpointing: run ``fn`` without recording, recompute in backward.
+
+    The forward pass evaluates ``fn(*inputs)`` under :func:`no_grad`, so none
+    of its intermediate tensors survive -- only the output data is kept.  The
+    returned tensor is wired into the surrounding graph with one parent per
+    input; the first time a gradient reaches it, ``fn`` is re-evaluated on
+    leaf copies of the inputs, the local graph is differentiated once, and
+    the per-input gradients are cached for the remaining parents.
+
+    Exactness: the recomputation executes the very same array operations on
+    the very same full-shape operands as an unwrapped call would, and the
+    local backward walks the identical subgraph in the identical topological
+    order, so both the forward values and the gradients delivered to every
+    input are **bit-identical** to the non-checkpointed path.  Peak memory
+    drops because the subgraph's per-edge/per-row intermediates exist only
+    transiently -- during the forward (freed immediately) and again during
+    the one recomputation in backward.
+
+    ``fn`` must be a pure function of its tensor inputs (plain-array
+    constants captured by closure are fine; anything stateful is not).
+    """
+    tensors = tuple(t if isinstance(t, Tensor) else Tensor(t) for t in inputs)
+    if not (is_grad_enabled() and any(t.requires_grad for t in tensors)):
+        with no_grad():
+            return fn(*tensors)
+    with no_grad():
+        out = fn(*tensors)
+    cache: dict = {}
+    # The backward engine invokes one closure per grad-requiring parent (all
+    # with the same seed, in one processing step); the recompute runs on the
+    # first call and the cached per-input grads are dropped after the last,
+    # so at most one checkpoint unit's recomputation is ever alive.
+    pending = sum(1 for t in tensors if t.requires_grad)
+
+    def _recomputed_grads(seed: np.ndarray) -> List[np.ndarray]:
+        if "grads" not in cache:
+            leaves = [Tensor(t.data, requires_grad=t.requires_grad) for t in tensors]
+            with enable_grad():
+                recomputed = fn(*leaves)
+                recomputed.backward(seed)
+            cache["grads"] = [
+                leaf.grad if leaf.grad is not None else np.zeros_like(leaf.data)
+                for leaf in leaves
+            ]
+        return cache["grads"]
+
+    def make_fn(i: int) -> Callable[[np.ndarray], np.ndarray]:
+        def backward_fn(g: np.ndarray) -> np.ndarray:
+            nonlocal pending
+            grad = _recomputed_grads(g)[i]
+            pending -= 1
+            if pending == 0:
+                cache.clear()
+            return grad
+
+        return backward_fn
+
+    return Tensor._from_op(
+        out.data, tensors, tuple(make_fn(i) for i in range(len(tensors))), "checkpoint"
+    )
 
 
 def _topological_order(root: Tensor) -> List[Tensor]:

@@ -98,7 +98,7 @@ def _add_config(parser: argparse.ArgumentParser) -> None:
         "--workers",
         type=int,
         default=1,
-        help="worker count for the sharded generation engine (1 = sequential; "
+        help="worker count for sharded training and generation (1 = sequential; "
         "output is bit-identical for every worker count)",
     )
     parser.add_argument(
@@ -106,6 +106,21 @@ def _add_config(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="centre rows per generation chunk (default: --initial-nodes)",
+    )
+    parser.add_argument(
+        "--train-shard-size",
+        type=int,
+        default=None,
+        help="centre rows per data-parallel training shard (default: "
+        "--initial-nodes / 4; the partitioning never depends on --workers, "
+        "so training is bit-identical for every worker count)",
+    )
+    parser.add_argument(
+        "--checkpoint-attention",
+        action="store_true",
+        help="activation checkpointing: recompute attention activations in "
+        "backward, cutting training peak memory without changing the loss "
+        "trajectory by a single bit",
     )
 
 
@@ -120,6 +135,8 @@ def _config_from(args: argparse.Namespace) -> TGAEConfig:
         candidate_limit=args.candidate_limit,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        train_shard_size=getattr(args, "train_shard_size", None),
+        checkpoint_attention=getattr(args, "checkpoint_attention", False),
     )
 
 
@@ -134,9 +151,21 @@ def cmd_datasets(args: argparse.Namespace) -> int:
 def cmd_fit(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     print(f"observed: {graph}")
-    generator = TGAEGenerator(_config_from(args)).fit(graph)
-    losses = generator.history.losses
+    generator = TGAEGenerator(_config_from(args)).fit(
+        graph, verbose=args.verbose, track_memory=args.verbose
+    )
+    history = generator.history
+    losses = history.losses
     print(f"trained {len(losses)} epochs: loss {losses[0]:.3f} -> {losses[-1]:.3f}")
+    print(
+        f"wall-clock {history.total_seconds:.2f}s "
+        f"({history.total_seconds / len(losses):.2f}s/epoch)"
+        + (
+            f", peak traced memory {history.peak_memory / 1e6:.1f} MB"
+            if history.peak_memory
+            else ""
+        )
+    )
     save_generator(generator, args.model)
     print(f"saved model to {args.model}")
     return 0
@@ -272,6 +301,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_source(p)
     _add_config(p)
     p.add_argument("--model", required=True, help="output .npz path")
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print per-epoch loss/grad-norm/wall-clock/peak-memory lines",
+    )
     p.set_defaults(fn=cmd_fit)
 
     p = sub.add_parser("generate", help="sample a graph from a saved generator")

@@ -12,13 +12,30 @@ from .engine import (
     sample_rows_without_replacement,
     sample_without_replacement,
 )
-from .parallel import WorkerPayload, run_sharded
+from .parallel import (
+    WorkerPayload,
+    WorkerPool,
+    close_shared_pools,
+    run_sharded,
+    shared_pool,
+)
 from .generator import TGAEGenerator
 from .persistence import load_generator, save_generator
-from .loss import adjacency_target_rows, reconstruction_loss, tgae_loss
+from .loss import (
+    adjacency_target_rows,
+    reconstruction_loss,
+    tgae_loss,
+    tgae_shard_loss,
+)
 from .model import TGAEModel
 from .sampler import EgoGraphSampler, TrainingBatch
-from .trainer import TrainingHistory, train_tgae
+from .trainer import (
+    TrainShardResult,
+    TrainShardTask,
+    TrainingHistory,
+    run_train_shard,
+    train_tgae,
+)
 from .continuous import ContinuousTimeGenerator
 from .upscale import UpscaledGenerator, expand_temporal_graph
 from .variants import VARIANTS, tgae_full, tgae_g, tgae_n, tgae_p, tgae_t
@@ -40,11 +57,18 @@ __all__ = [
     "tgae_loss",
     "reconstruction_loss",
     "adjacency_target_rows",
+    "tgae_shard_loss",
+    "TrainShardTask",
+    "TrainShardResult",
+    "run_train_shard",
     "TGAEGenerator",
     "GenerationEngine",
     "GenerateChunkTask",
     "TopKChunkTask",
     "WorkerPayload",
+    "WorkerPool",
+    "shared_pool",
+    "close_shared_pools",
     "run_sharded",
     "TopKScores",
     "active_temporal_nodes",

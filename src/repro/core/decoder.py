@@ -73,11 +73,39 @@ class EgoGraphDecoder(Module):
         # the moment seeds are reused (see repro.rng).
         self._noise_rng = stream(config.seed, "tgae", "decoder-noise")
 
+    def _latent(
+        self,
+        center_features: Tensor,
+        sample: bool,
+        noise_rng: Optional[np.random.Generator],
+    ):
+        """Posterior parameters and the latent actually used for decoding.
+
+        ``noise_rng`` supplies the reparameterisation noise; ``None`` falls
+        back to the decoder's own named stream.  The sharded trainer passes
+        each shard's spawned seed-sequence child here so the draws depend on
+        the shard, never on which worker (or how many) executed it.
+        """
+        mu = self.mlp_mu(center_features)
+        log_sigma: Optional[Tensor] = None
+        if self.config.probabilistic and self.mlp_sigma is not None:
+            log_sigma = self.mlp_sigma(center_features).clip(-6.0, 4.0)
+            if sample:
+                rng = noise_rng if noise_rng is not None else self._noise_rng
+                noise = rng.standard_normal(mu.shape)
+                latent = mu + log_sigma.exp() * Tensor(noise)
+            else:
+                latent = mu
+        else:
+            latent = mu
+        return mu, log_sigma, latent
+
     def forward(
         self,
         center_hidden: Tensor,
         center_features: Tensor,
         sample: bool = True,
+        noise_rng: Optional[np.random.Generator] = None,
     ) -> DecoderOutput:
         """Decode a batch of centres.
 
@@ -92,18 +120,11 @@ class EgoGraphDecoder(Module):
         sample:
             Draw the reparameterised latent; when ``False`` (inference time)
             the mean ``mu`` is used.
+        noise_rng:
+            Explicit generator for the reparameterisation noise (``None``:
+            the decoder's own named stream).
         """
-        mu = self.mlp_mu(center_features)
-        log_sigma: Optional[Tensor] = None
-        if self.config.probabilistic and self.mlp_sigma is not None:
-            log_sigma = self.mlp_sigma(center_features).clip(-6.0, 4.0)
-            if sample:
-                noise = self._noise_rng.standard_normal(mu.shape)
-                latent = mu + log_sigma.exp() * Tensor(noise)
-            else:
-                latent = mu
-        else:
-            latent = mu
+        mu, log_sigma, latent = self._latent(center_features, sample, noise_rng)
         h = center_hidden + latent @ self.latent_proj
         logits = h @ self.w_dec + self.b_dec
         return DecoderOutput(logits=logits, mu=mu, log_sigma=log_sigma, latent=latent)
@@ -114,6 +135,7 @@ class EgoGraphDecoder(Module):
         center_features: Tensor,
         candidates: np.ndarray,
         sample: bool = True,
+        noise_rng: Optional[np.random.Generator] = None,
     ) -> DecoderOutput:
         """Sampled-softmax decoding over per-centre candidate sets.
 
@@ -125,17 +147,7 @@ class EgoGraphDecoder(Module):
         """
         candidates = np.asarray(candidates, dtype=np.int64)
         batch, width = candidates.shape
-        mu = self.mlp_mu(center_features)
-        log_sigma: Optional[Tensor] = None
-        if self.config.probabilistic and self.mlp_sigma is not None:
-            log_sigma = self.mlp_sigma(center_features).clip(-6.0, 4.0)
-            if sample:
-                noise = self._noise_rng.standard_normal(mu.shape)
-                latent = mu + log_sigma.exp() * Tensor(noise)
-            else:
-                latent = mu
-        else:
-            latent = mu
+        mu, log_sigma, latent = self._latent(center_features, sample, noise_rng)
         h = center_hidden + latent @ self.latent_proj  # (batch, hidden)
         flat = candidates.reshape(-1)
         # Columns of W_dec gathered per candidate: (batch*C, hidden).

@@ -13,9 +13,16 @@ from typing import Optional
 
 import numpy as np
 
-from ..autograd import Tensor
+from ..autograd import Tensor, checkpoint, is_grad_enabled
 from ..graph.bipartite import BipartiteBatch, PackedEgoBatch
-from ..nn import Embedding, Linear, Module, ModuleList, TemporalGraphAttention
+from ..nn import (
+    Embedding,
+    Linear,
+    Module,
+    ModuleList,
+    TemporalGraphAttention,
+    embedding_lookup,
+)
 from .config import TGAEConfig
 
 
@@ -65,6 +72,7 @@ class TGAEEncoder(Module):
                     num_heads=config.num_heads,
                     time_dim=config.time_dim,
                     rng=rng,
+                    checkpoint=config.checkpoint_attention,
                 )
                 for _ in range(config.radius)
             ]
@@ -106,16 +114,89 @@ class TGAEEncoder(Module):
         ``temporal_nodes`` may carry leading batch dimensions -- ``(n, 2)``
         and the padded ``(batch, n, 2)`` layout are both supported.
         """
+        feat_w = self.feature_proj.weight if self.feature_proj is not None else None
+        feat_b = self.feature_proj.bias if self.feature_proj is not None else None
+        return self._features_impl(
+            temporal_nodes,
+            self.node_embedding.weight,
+            self.time_embedding.weight,
+            feat_w,
+            feat_b,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-level input pipeline (checkpointable)
+    # ------------------------------------------------------------------
+    def _input_params(self) -> list:
+        params = [
+            self.node_embedding.weight,
+            self.time_embedding.weight,
+            self.input_proj.weight,
+            self.input_proj.bias,
+        ]
+        if self.feature_proj is not None:
+            params += [self.feature_proj.weight, self.feature_proj.bias]
+        return params
+
+    def _features_impl(
+        self,
+        temporal_nodes: np.ndarray,
+        node_w: Tensor,
+        time_w: Tensor,
+        feat_w: Optional[Tensor] = None,
+        feat_b: Optional[Tensor] = None,
+    ) -> Tensor:
+        """The Sec. IV-B feature computation on explicit parameter tensors.
+
+        The single kernel behind both :meth:`node_features` (module
+        parameters) and the checkpointed input pipeline (leaf copies), so
+        the two can never drift apart.
+        """
         ids = temporal_nodes[..., 0]
         times = temporal_nodes[..., 1]
-        out = self.node_embedding(ids) + self.time_embedding(times)
-        if self._external_features is not None and self.feature_proj is not None:
+        out = embedding_lookup(node_w, ids) + embedding_lookup(time_w, times)
+        if self._external_features is not None and feat_w is not None:
             if self._external_features.ndim == 2:
                 rows = self._external_features[ids]
             else:
                 rows = self._external_features[times, ids]
-            out = out + self.feature_proj(Tensor(rows))
+            out = out + (Tensor(rows) @ feat_w + feat_b)
         return out
+
+    def _input_impl(
+        self,
+        temporal_nodes: np.ndarray,
+        node_w: Tensor,
+        time_w: Tensor,
+        proj_w: Tensor,
+        proj_b: Tensor,
+        feat_w: Optional[Tensor] = None,
+        feat_b: Optional[Tensor] = None,
+    ) -> Tensor:
+        """``input_proj(node_features(...))`` as a pure function of its parameters."""
+        out = self._features_impl(temporal_nodes, node_w, time_w, feat_w, feat_b)
+        return out @ proj_w + proj_b
+
+    def _level_input(self, temporal_nodes: np.ndarray) -> Tensor:
+        """Projected input features of one bipartite level's node table.
+
+        With ``config.checkpoint_attention`` (and gradients recording), the
+        whole pipeline -- two embedding gathers, the optional external
+        feature projection, and ``input_proj`` -- becomes one
+        recompute-in-backward unit, so only the final ``(rows, hidden)``
+        tensor stays alive per level instead of the ~5 per-row
+        intermediates.  Exact: same full-shape operations either way.
+        """
+        params = self._input_params()
+        if (
+            self.config.checkpoint_attention
+            and is_grad_enabled()
+            and any(p.requires_grad for p in params)
+        ):
+            return checkpoint(
+                lambda *tensors: self._input_impl(temporal_nodes, *tensors), *params
+            )
+        return self._input_impl(temporal_nodes, *params)
 
     def forward(self, batch: BipartiteBatch) -> Tensor:
         """Return hidden vectors for the *centre* nodes, ``(n_centers, hidden)``.
@@ -126,12 +207,12 @@ class TGAEEncoder(Module):
         """
         radius = batch.radius
         # Representations of the outermost level's nodes.
-        current = self.input_proj(self.node_features(batch.level_nodes[radius]))
+        current = self._level_input(batch.level_nodes[radius])
         for level in range(radius, 0, -1):
             layer = self.layers[radius - level]
             edges = batch.levels[level - 1]
             target_nodes = batch.level_nodes[level - 1]
-            target_feats = self.input_proj(self.node_features(target_nodes))
+            target_feats = self._level_input(target_nodes)
             current = layer(
                 h_src=current,
                 h_dst=target_feats,
@@ -154,11 +235,11 @@ class TGAEEncoder(Module):
         cross-ego node merging takes place).
         """
         radius = packed.radius
-        current = self.input_proj(self.node_features(packed.level_nodes[radius]))
+        current = self._level_input(packed.level_nodes[radius])
         for level in range(radius, 0, -1):
             layer = self.layers[radius - level]
             edges = packed.levels[level - 1]
-            target_feats = self.input_proj(self.node_features(packed.level_nodes[level - 1]))
+            target_feats = self._level_input(packed.level_nodes[level - 1])
             current = layer(
                 h_src=current,
                 h_dst=target_feats,

@@ -40,7 +40,7 @@ from ..graph.temporal_graph import TemporalGraph
 from ..rng import seed_sequence, spawn_streams
 from .config import TGAEConfig
 from .model import TGAEModel
-from .parallel import run_sharded
+from .parallel import WorkerPool, run_sharded
 from .sampler import EgoGraphSampler
 
 #: Rejection-sampling rounds before the exact set-difference fallback when
@@ -444,6 +444,7 @@ class GenerationEngine:
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         backend: Optional[str] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> TemporalGraph:
         """Assemble one synthetic graph matching the observed edge budgets.
 
@@ -459,7 +460,10 @@ class GenerationEngine:
         ``rng`` spawns a seed-sequence child per chunk *before* dispatch,
         so the generated graph depends only on ``rng``'s state and the
         chunk partitioning -- never on ``workers`` or ``backend``.
-        ``workers``/``chunk_size``/``backend`` default to the config knobs.
+        ``workers``/``chunk_size``/``backend`` default to the config knobs;
+        ``pool`` dispatches through a persistent
+        :class:`~repro.core.parallel.WorkerPool` instead of a throwaway
+        executor (amortising startup over repeated calls).
         """
         graph = self.graph
         centers_all, degrees, distinct_counts = active_temporal_nodes(graph)
@@ -481,7 +485,9 @@ class GenerationEngine:
             for i, start in enumerate(starts)
         ]
         self.model.eval()
-        results = run_sharded(self, "generate", tasks, workers=workers, backend=backend)
+        results = run_sharded(
+            self, "generate", tasks, workers=workers, backend=backend, pool=pool
+        )
         src_out = [src for src, _, _ in results if src.size]
         dst_out = [dst for _, dst, _ in results if dst.size]
         t_out = [t for _, _, t in results if t.size]
@@ -587,6 +593,7 @@ class GenerationEngine:
         chunk: Optional[int] = None,
         workers: Optional[int] = None,
         backend: Optional[str] = None,
+        pool: Optional[WorkerPool] = None,
     ) -> TopKScores:
         """Chunked top-``k`` decoded scores as sparse triples.
 
@@ -623,7 +630,9 @@ class GenerationEngine:
             for i, (timestamp, node_ids) in enumerate(specs)
         ]
         self.model.eval()
-        results = run_sharded(self, "topk", tasks, workers=workers, backend=backend)
+        results = run_sharded(
+            self, "topk", tasks, workers=workers, backend=backend, pool=pool
+        )
         nodes_out = [nodes for nodes, _, _, _ in results]
         stamps_out = [stamps_ for _, stamps_, _, _ in results]
         targets_out = [targets for _, _, targets, _ in results]

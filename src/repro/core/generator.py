@@ -27,6 +27,7 @@ from .engine import (
     sample_without_replacement,
 )
 from .model import TGAEModel
+from .parallel import WorkerPool
 from .sampler import EgoGraphSampler
 from .trainer import TrainingHistory, train_tgae
 
@@ -63,17 +64,28 @@ class TGAEGenerator(TemporalGraphGenerator):
         self.model: Optional[TGAEModel] = None
         self.history: Optional[TrainingHistory] = None
         self._node_features: Optional[np.ndarray] = None
+        self._pool: Optional[WorkerPool] = None
 
-    def fit(self, graph: TemporalGraph, node_features: Optional[np.ndarray] = None):
+    def fit(
+        self,
+        graph: TemporalGraph,
+        node_features: Optional[np.ndarray] = None,
+        verbose: bool = False,
+        track_memory: bool = False,
+    ):
         """Fit on a temporal graph, optionally with external node features.
 
         ``node_features`` may be ``(n, d)`` (static) or ``(T, n, d)``
         (per-snapshot ``X^{(t)}``); when omitted the paper's default
-        node-identity features are used.
+        node-identity features are used.  ``verbose`` prints one line per
+        epoch; ``track_memory`` records per-epoch tracemalloc peaks into
+        :attr:`history` (see :func:`~repro.core.trainer.train_tgae`).
         """
         self._node_features = (
             np.asarray(node_features, dtype=np.float64) if node_features is not None else None
         )
+        self._fit_verbose = verbose
+        self._fit_track_memory = track_memory
         return super().fit(graph)
 
     # ------------------------------------------------------------------
@@ -90,7 +102,65 @@ class TGAEGenerator(TemporalGraphGenerator):
         )
         if self._node_features is not None:
             self.model.encoder.set_external_features(self._node_features)
-        self.history = train_tgae(self.model, graph, self.config)
+        self.history = train_tgae(
+            self.model, graph, self.config,
+            verbose=getattr(self, "_fit_verbose", False),
+            track_memory=getattr(self, "_fit_track_memory", False),
+            pool=self._active_pool(),
+        )
+
+    # ------------------------------------------------------------------
+    # Persistent worker pool
+    # ------------------------------------------------------------------
+    def worker_pool(
+        self, workers: Optional[int] = None, backend: Optional[str] = None
+    ) -> WorkerPool:
+        """The generator's persistent worker pool (created lazily).
+
+        Repeated calls return the same open pool as long as the requested
+        worker count and backend match, so many-sample workloads
+        (significance tests drawing dozens of graphs, ``score_topk``
+        sweeps, refits) amortise process startup across calls::
+
+            with generator.worker_pool(workers=4):
+                graphs = [generator.generate(seed=s) for s in range(20)]
+            # pool processes reaped here
+
+        Outside a ``with`` block, call :meth:`close_pool` (or
+        ``pool.close()``) when done; an open pool is also picked up by
+        :meth:`generate`, :meth:`score_topk` and :meth:`fit` automatically.
+        """
+        workers = int(workers if workers is not None else self.config.workers)
+        backend = backend if backend is not None else self.config.parallel_backend
+        pool = self._pool
+        # Compare against the *requested* backend: a pool whose process
+        # backend degraded to threads stays valid for "process" requests
+        # (rebuilding it would just retry the known-broken backend).
+        if (
+            pool is None
+            or pool.closed
+            or pool.workers != workers
+            or pool.requested_backend != backend
+        ):
+            if pool is not None and not pool.closed:
+                pool.close()
+            self._pool = pool = WorkerPool(workers, backend)
+        return pool
+
+    def close_pool(self) -> None:
+        """Shut down the generator's persistent pool, if one is open."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def _active_pool(self, workers: Optional[int] = None) -> Optional[WorkerPool]:
+        """The open pool, if compatible with an explicit ``workers`` override."""
+        pool = self._pool
+        if pool is None or pool.closed:
+            return None
+        if workers is not None and workers != pool.workers:
+            return None
+        return pool
 
     # ------------------------------------------------------------------
     # Generation (Sec. IV-G, streaming)
@@ -118,12 +188,17 @@ class TGAEGenerator(TemporalGraphGenerator):
 
         ``workers``/``chunk_size`` override the config's sharding knobs for
         this call (see :class:`~repro.core.engine.GenerationEngine`); the
-        output is bit-identical for every worker count.
+        output is bit-identical for every worker count.  An open
+        :meth:`worker_pool` is used automatically (unless ``workers``
+        explicitly disagrees with its size).
         """
         if self._observed is None:
             raise NotFittedError(f"{type(self).__name__} has not been fitted")
         return self.engine().generate(
-            self._generation_rng(seed), workers=workers, chunk_size=chunk_size
+            self._generation_rng(seed),
+            workers=workers,
+            chunk_size=chunk_size,
+            pool=self._active_pool(workers),
         )
 
     def _generate(self, seed: Optional[int]) -> TemporalGraph:
@@ -155,9 +230,13 @@ class TGAEGenerator(TemporalGraphGenerator):
 
         The scalable replacement for the dense score matrix: sharded
         decoding, O(n * k) output, no ``(n, T, n)`` tensor; ``workers``
-        fans the chunks out without changing the triples.
+        fans the chunks out without changing the triples.  An open
+        :meth:`worker_pool` is reused automatically.
         """
-        return self.engine().score_topk(k, timestamps=timestamps, workers=workers)
+        return self.engine().score_topk(
+            k, timestamps=timestamps, workers=workers,
+            pool=self._active_pool(workers),
+        )
 
     def score_matrix(self, timestamps: Optional[List[int]] = None) -> np.ndarray:
         """Dense score matrix ``S`` rows for inspection.

@@ -22,7 +22,11 @@ from ..errors import ShapeError
 from .decoder import DecoderOutput
 
 
-def reconstruction_loss(logits: Tensor, target_rows: Sequence[np.ndarray]) -> Tensor:
+def reconstruction_loss(
+    logits: Tensor,
+    target_rows: Sequence[np.ndarray],
+    scale: Optional[float] = None,
+) -> Tensor:
     """Cross-entropy between decoded distributions and observed neighbour rows.
 
     Parameters
@@ -33,6 +37,11 @@ def reconstruction_loss(logits: Tensor, target_rows: Sequence[np.ndarray]) -> Te
         Per-centre arrays of observed out-neighbour node ids (may contain
         repeats for multi-edges; repeats increase that neighbour's mass).
         Centres with no observed out-edge contribute nothing.
+    scale:
+        Explicit factor replacing the local ``1 / active`` normalisation.
+        The sharded trainer passes ``1 / active_total`` (active centres of
+        the *whole* epoch batch) so per-shard losses sum to the global
+        Eq. 7 objective.  ``None`` keeps the per-call average.
     """
     batch, num_nodes = logits.shape
     if len(target_rows) != batch:
@@ -46,12 +55,14 @@ def reconstruction_loss(logits: Tensor, target_rows: Sequence[np.ndarray]) -> Te
         np.add.at(dense[row_idx], neigh, 1.0)
         dense[row_idx] /= dense[row_idx].sum()
         active += 1
-    if active == 0:
+    if scale is None:
+        scale = (1.0 / active) if active else None
+    if scale is None or active == 0:
         return Tensor(np.zeros(()))
     logp = log_softmax(logits, axis=-1)
     per_center = -(logp * Tensor(dense)).sum(axis=-1)
     # Average over *active* centres (the 1/n_s of Eq. 7 with empty rows dropped).
-    return per_center.sum() * (1.0 / active)
+    return per_center.sum() * scale
 
 
 def tgae_loss(
@@ -75,16 +86,50 @@ def tgae_loss(
     return loss
 
 
+def tgae_shard_loss(
+    decoded: DecoderOutput,
+    target_rows: Sequence[np.ndarray],
+    kl_weight: float,
+    recon_scale: float,
+    kl_scale: float,
+    candidates: Optional[np.ndarray] = None,
+) -> Tensor:
+    """One shard's additive contribution to the Eq. 7 epoch objective.
+
+    The data-parallel trainer splits an epoch batch into shards; because
+    Eq. 7 is a sum of per-centre terms divided by global counts, handing
+    every shard the *global* normalisers (``recon_scale = 1/active_total``,
+    ``kl_scale = 1/batch_rows``) makes the shard losses -- and, by linearity,
+    their gradients -- sum exactly to the single-batch objective.  With one
+    shard covering the whole batch this reduces bitwise to
+    :func:`tgae_loss`.
+    """
+    if candidates is None:
+        loss = reconstruction_loss(decoded.logits, target_rows, scale=recon_scale)
+    else:
+        loss = candidate_reconstruction_loss(
+            decoded.logits, candidates, target_rows, scale=recon_scale
+        )
+    if decoded.log_sigma is not None and kl_weight > 0:
+        loss = loss + kl_weight * kl_standard_normal(
+            decoded.mu, decoded.log_sigma, scale=kl_scale
+        )
+    return loss
+
+
 def candidate_reconstruction_loss(
     logits: Tensor,
     candidates: np.ndarray,
     target_rows: Sequence[np.ndarray],
+    scale: Optional[float] = None,
 ) -> Tensor:
     """Cross-entropy over per-centre candidate sets (sampled softmax).
 
     ``logits`` is ``(batch, C)`` aligned with ``candidates``; each target
     node id is mapped to its first position in the centre's candidate row
-    (positives are guaranteed present by the sampler).
+    (positives are guaranteed present by the sampler).  ``scale`` overrides
+    the local ``1 / active`` normalisation exactly as in
+    :func:`reconstruction_loss`.
     """
     batch, width = logits.shape
     candidates = np.asarray(candidates, dtype=np.int64)
@@ -109,11 +154,13 @@ def candidate_reconstruction_loss(
         if total > 0:
             dense[row_idx] /= total
             active += 1
-    if active == 0:
+    if scale is None:
+        scale = (1.0 / active) if active else None
+    if scale is None or active == 0:
         return Tensor(np.zeros(()))
     logp = log_softmax(logits, axis=-1)
     per_center = -(logp * Tensor(dense)).sum(axis=-1)
-    return per_center.sum() * (1.0 / active)
+    return per_center.sum() * scale
 
 
 def adjacency_target_rows(

@@ -44,6 +44,7 @@ class TGAEModel(Module):
         batch: Union[BipartiteBatch, PackedEgoBatch],
         sample: bool = True,
         candidates: Optional[np.ndarray] = None,
+        noise_rng: Optional[np.random.Generator] = None,
     ) -> DecoderOutput:
         """Encode the batch's centres and decode their edge distributions.
 
@@ -61,6 +62,10 @@ class TGAEModel(Module):
             Optional ``(batch, C)`` candidate sets; when given the decoder
             runs in sampled-softmax mode and the returned logits index into
             the candidate sets instead of the node universe.
+        noise_rng:
+            Explicit generator for the decoder's reparameterisation noise;
+            the sharded trainer passes its per-shard stream here so draws
+            never depend on worker scheduling.
         """
         if isinstance(batch, PackedEgoBatch):
             center_nodes = batch.center_nodes
@@ -71,6 +76,9 @@ class TGAEModel(Module):
         center_features = self.encoder.node_features(center_nodes)
         if candidates is not None:
             return self.decoder.forward_candidates(
-                center_hidden, center_features, candidates, sample=sample
+                center_hidden, center_features, candidates,
+                sample=sample, noise_rng=noise_rng,
             )
-        return self.decoder(center_hidden, center_features, sample=sample)
+        return self.decoder(
+            center_hidden, center_features, sample=sample, noise_rng=noise_rng
+        )

@@ -1,8 +1,9 @@
-"""Sharded parallel execution of generation-engine chunk tasks.
+"""Sharded parallel execution of generation and training chunk tasks.
 
-The streaming :class:`~repro.core.engine.GenerationEngine` already splits
-its work -- one encoder forward + candidate decode per chunk of active
-temporal nodes -- into independent units: every chunk owns a spawned
+The streaming :class:`~repro.core.engine.GenerationEngine` and the
+data-parallel trainer (:mod:`repro.core.trainer`) both split their work into
+independent units -- one encoder forward (+ backward, for training) per chunk
+of centre temporal nodes -- where every unit owns a spawned
 :class:`~numpy.random.SeedSequence` child (see :mod:`repro.rng`), touches
 only its own centre rows, and returns plain arrays.  This module fans those
 units out across a pool:
@@ -12,11 +13,13 @@ units out across a pool:
   serialise under threads.  Each worker rebuilds the model/graph once from a
   :class:`WorkerPayload` of plain arrays shipped through the pool
   initializer; per-task messages carry only index arrays and a seed-sequence
-  child, never graph or model objects.
+  child (training shards add the current weights, which change every step).
 * ``backend="thread"`` shares the live engine across a thread pool -- the
   fallback for environments where process pools are unavailable (no POSIX
   semaphores, restricted sandboxes); the process backend degrades to it
-  automatically.
+  automatically.  *Training* shards run backward passes, which accumulate
+  into parameter gradients, so the thread backend gives each worker thread
+  its own model replica instead of the shared live model.
 * ``workers=1`` bypasses pools entirely and runs the chunks as a plain
   in-process loop -- the exact sequential path.
 
@@ -24,18 +27,29 @@ Because chunk streams are spawned from one root before any dispatch and
 results are merged in chunk order, the three execution modes are
 **bit-identical**: worker count and backend change wall-clock time, never
 output.
+
+:class:`WorkerPool` makes the executor *persistent*: one pool outlives many
+``generate()`` / ``score_topk()`` calls and every epoch of a training run,
+so many-sample workloads (significance tests, top-k sweeps, multi-epoch
+training) pay process startup and graph shipping once instead of per call.
 """
 
 from __future__ import annotations
 
+import atexit
+import hashlib
+import itertools
 import multiprocessing
 import pickle
+import queue
+import threading
 import warnings
+import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import partial
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,10 +57,21 @@ from ..errors import ConfigError
 from ..graph.temporal_graph import TemporalGraph
 from .config import TGAEConfig
 
-__all__ = ["BACKENDS", "WorkerPayload", "payload_from_engine", "run_sharded"]
+__all__ = [
+    "BACKENDS",
+    "WorkerPayload",
+    "WorkerPool",
+    "payload_from_engine",
+    "run_sharded",
+    "shared_pool",
+    "close_shared_pools",
+]
 
 #: Supported executor backends, in order of preference.
 BACKENDS = ("process", "thread")
+
+#: Pool-infrastructure failures that trigger the loud thread-backend retry.
+_POOL_FAILURES = (OSError, BrokenProcessPool, pickle.PicklingError)
 
 
 @dataclass(frozen=True)
@@ -84,24 +109,53 @@ def payload_from_engine(engine: Any) -> WorkerPayload:
     )
 
 
-#: Per-process engine rebuilt by :func:`_init_worker`; ``None`` in the parent.
-_WORKER_ENGINE: Optional[Any] = None
+def _engine_token(engine: Any, include_state: bool) -> str:
+    """Fingerprint of an engine, deciding when shipped workers are stale.
+
+    Generation tasks read the worker's resident weights, so their token
+    covers the state arrays; training shards carry the current weights in
+    every task message, so their token covers only the graph/config/shape
+    structure -- which is what lets one process pool survive a whole
+    training run even though the weights change every epoch.  Reads the
+    live arrays in place (no ``state_dict`` copy).
+    """
+    digest = hashlib.sha256()
+    graph = engine.graph
+    digest.update(repr(engine.config).encode())
+    digest.update(f"{graph.num_nodes}:{graph.num_timestamps}".encode())
+    for arr in (graph.src, graph.dst, graph.t):
+        digest.update(np.ascontiguousarray(arr).tobytes())
+    external = engine.model.encoder._external_features
+    if external is not None:
+        digest.update(np.ascontiguousarray(external).tobytes())
+    for name, param in sorted(engine.model.named_parameters()):
+        digest.update(name.encode())
+        if include_state:
+            digest.update(np.ascontiguousarray(param.data).tobytes())
+        else:
+            digest.update(str(param.data.shape).encode())
+    return ("state:" if include_state else "structure:") + digest.hexdigest()
 
 
-def _init_worker(payload: WorkerPayload) -> None:
-    """Pool initializer: rebuild the engine once per worker process."""
-    global _WORKER_ENGINE
+def _build_engine(payload: WorkerPayload, graph: Optional[TemporalGraph] = None) -> Any:
+    """Rebuild a generation engine (model + graph) from plain arrays.
+
+    ``graph`` short-circuits the graph rebuild for same-process replicas
+    (thread-backend training), which can safely share the live read-only
+    graph and its caches.
+    """
     from .engine import GenerationEngine
     from .model import TGAEModel
 
-    graph = TemporalGraph(
-        payload.num_nodes,
-        payload.src,
-        payload.dst,
-        payload.t,
-        num_timestamps=payload.num_timestamps,
-        validate=False,
-    )
+    if graph is None:
+        graph = TemporalGraph(
+            payload.num_nodes,
+            payload.src,
+            payload.dst,
+            payload.t,
+            num_timestamps=payload.num_timestamps,
+            validate=False,
+        )
     feature_dim = (
         payload.external_features.shape[-1]
         if payload.external_features is not None
@@ -115,7 +169,17 @@ def _init_worker(payload: WorkerPayload) -> None:
     if payload.external_features is not None:
         model.encoder.set_external_features(payload.external_features)
     model.eval()
-    _WORKER_ENGINE = GenerationEngine(model, graph, payload.config)
+    return GenerationEngine(model, graph, payload.config)
+
+
+#: Per-process engine rebuilt by :func:`_init_worker`; ``None`` in the parent.
+_WORKER_ENGINE: Optional[Any] = None
+
+
+def _init_worker(payload: WorkerPayload) -> None:
+    """Pool initializer: rebuild the engine once per worker process."""
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = _build_engine(payload)
 
 
 def _run_on(engine: Any, kind: str, task: Any) -> Any:
@@ -126,6 +190,10 @@ def _run_on(engine: Any, kind: str, task: Any) -> Any:
         return engine.generate_chunk(task)
     if kind == "topk":
         return engine.topk_chunk(task)
+    if kind == "train":
+        from .trainer import run_train_shard
+
+        return run_train_shard(engine, task)
     raise ValueError(f"unknown sharded task kind {kind!r}")
 
 
@@ -134,31 +202,286 @@ def _run_remote(kind: str, task: Any) -> Any:
     return _run_on(_WORKER_ENGINE, kind, task)
 
 
+def _prewarm_graph(graph: TemporalGraph) -> None:
+    """Build the shared lazy graph caches before thread fan-out.
+
+    Worker threads then only ever read them: the partner CSR (candidate
+    assembly), the incidence structure (ego sampling) and the snapshot time
+    order.
+    """
+    if graph.num_edges:
+        graph.out_partner_groups()
+        graph.incidence
+        graph._snapshot_order_bounds()
+
+
+def _make_train_replicas(engine: Any, count: int) -> "queue.SimpleQueue":
+    """Per-thread model replicas for training shards.
+
+    Backward passes accumulate into parameter gradients, so concurrent
+    shards must not share one model.  Replicas share the live (read-only)
+    graph; each task checks a replica out, loads the task's weights, and
+    returns it.
+    """
+    payload = payload_from_engine(engine)
+    replicas: "queue.SimpleQueue" = queue.SimpleQueue()
+    for _ in range(count):
+        replicas.put(_build_engine(payload, graph=engine.graph))
+    return replicas
+
+
+def _map_with_replicas(
+    replicas: "queue.SimpleQueue", kind: str, tasks: Sequence[Any], workers: int
+) -> List[Any]:
+    def run(task: Any) -> Any:
+        replica = replicas.get()
+        try:
+            return _run_on(replica, kind, task)
+        finally:
+            replicas.put(replica)
+
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run, tasks))
+
+
 def _run_threads(engine: Any, kind: str, tasks: Sequence[Any], workers: int) -> List[Any]:
-    # Pre-build the shared lazy graph caches before fan-out so worker
-    # threads only ever read them: the partner CSR (candidate assembly),
-    # the incidence structure (ego sampling) and the snapshot time order.
-    if engine.graph.num_edges:
-        engine.graph.out_partner_groups()
-        engine.graph.incidence
-        engine.graph._snapshot_order_bounds()
-    with ThreadPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+    _prewarm_graph(engine.graph)
+    count = min(workers, len(tasks))
+    if kind == "train":
+        return _map_with_replicas(_make_train_replicas(engine, count), kind, tasks, count)
+    with ThreadPoolExecutor(max_workers=count) as pool:
         return list(pool.map(lambda task: _run_on(engine, kind, task), tasks))
+
+
+def _process_context() -> multiprocessing.context.BaseContext:
+    # fork skips model re-pickling and re-import; fall back to the platform
+    # default (spawn on macOS/Windows) where fork is unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
 def _run_processes(engine: Any, kind: str, tasks: Sequence[Any], workers: int) -> List[Any]:
     payload = payload_from_engine(engine)
-    # fork skips model re-pickling and re-import; fall back to the platform
-    # default (spawn on macOS/Windows) where fork is unavailable.
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context("fork" if "fork" in methods else None)
     with ProcessPoolExecutor(
         max_workers=min(workers, len(tasks)),
-        mp_context=context,
+        mp_context=_process_context(),
         initializer=_init_worker,
         initargs=(payload,),
     ) as pool:
         return list(pool.map(partial(_run_remote, kind), tasks))
+
+
+class WorkerPool:
+    """A persistent, reusable worker pool for sharded chunk tasks.
+
+    One pool amortises process startup and graph shipping over many
+    ``run()`` calls: repeated ``generate()`` draws (significance tests),
+    ``score_topk`` sweeps, and every epoch of a training run reuse the same
+    worker processes.  The pool re-ships its payload only when the
+    fingerprint of what workers need actually changes (a refitted model, a
+    different graph); for training shards -- whose weights ride inside each
+    task -- the fingerprint ignores weight values, so one pool survives a
+    whole optimisation run.
+
+    Usage is either explicit::
+
+        with WorkerPool(workers=4) as pool:
+            graph_a = engine.generate(rng_a, pool=pool)
+            graph_b = engine.generate(rng_b, pool=pool)
+
+    or through the owning objects: :meth:`repro.core.TGAEGenerator.worker_pool`
+    and ``train_tgae(..., workers=N)`` manage a pool for you.  The process
+    backend degrades to threads (loudly, once) when the platform cannot run
+    process pools (``backend`` then reports the effective backend,
+    ``requested_backend`` the original); results are bit-identical either
+    way.  Concurrent ``run()`` calls from different threads serialise on the
+    pool's internal lock.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, workers: int, backend: str = "process") -> None:
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if backend not in BACKENDS:
+            raise ConfigError(
+                f"parallel backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        self.workers = workers
+        self.backend = backend
+        self.requested_backend = backend
+        self.pool_id = f"workerpool-{next(WorkerPool._ids)}"
+        self.runs = 0
+        self.closed = False
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._token: Optional[str] = None
+        self._thread_executor: Optional[ThreadPoolExecutor] = None
+        self._replicas: Optional["queue.SimpleQueue"] = None
+        self._replica_token: Optional[str] = None
+        #: (weakref-to-engine, token) cache: the structure token is constant
+        #: for an engine's lifetime, so a whole training run hashes the
+        #: graph arrays once instead of once per epoch.
+        self._structure_cache: Optional[tuple] = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def run(self, engine: Any, kind: str, tasks: Sequence[Any]) -> List[Any]:
+        """Run chunk ``tasks`` against ``engine``; results in task order."""
+        if self.closed:
+            raise RuntimeError(f"{self.pool_id} has been shut down")
+        tasks = list(tasks)
+        self.runs += 1
+        if not tasks:
+            return []
+        if self.workers == 1 or len(tasks) == 1:
+            return [_run_on(engine, kind, task) for task in tasks]
+        if self.backend == "thread":
+            return self._run_on_threads(engine, kind, tasks)
+        try:
+            return self._run_on_processes(engine, kind, tasks)
+        except _POOL_FAILURES as exc:
+            # Same loud degradation as the one-shot path -- but permanent,
+            # so a persistent pool does not retry a broken process backend
+            # on every call.
+            warnings.warn(
+                f"{self.pool_id}: process backend failed "
+                f"({type(exc).__name__}: {exc}); switching to the thread "
+                "backend for the remainder of this pool's life",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._shutdown_process_executor()
+            self.backend = "thread"
+            return self._run_on_threads(engine, kind, tasks)
+
+    # ------------------------------------------------------------------
+    def _token_for(self, engine: Any, kind: str) -> str:
+        """The staleness token for ``engine``, with the structure flavour cached."""
+        include_state = kind != "train"
+        if not include_state and self._structure_cache is not None:
+            ref, token = self._structure_cache
+            if ref() is engine:
+                return token
+        token = _engine_token(engine, include_state=include_state)
+        if not include_state:
+            self._structure_cache = (weakref.ref(engine), token)
+        return token
+
+    def _run_on_processes(self, engine: Any, kind: str, tasks: List[Any]) -> List[Any]:
+        # The whole dispatch holds the lock so a concurrent run() with a
+        # different payload token cannot swap the executor out from under
+        # this one's map -- concurrent callers serialise instead.
+        with self._lock:
+            token = self._token_for(engine, kind)
+            if self._executor is None or token != self._token:
+                self._shutdown_process_executor_locked()
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=_process_context(),
+                    initializer=_init_worker,
+                    initargs=(payload_from_engine(engine),),
+                )
+                self._token = token
+            return list(self._executor.map(partial(_run_remote, kind), tasks))
+
+    def _run_on_threads(self, engine: Any, kind: str, tasks: List[Any]) -> List[Any]:
+        _prewarm_graph(engine.graph)
+        with self._lock:
+            if self._thread_executor is None:
+                self._thread_executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix=self.pool_id,
+                )
+            executor = self._thread_executor
+        if kind != "train":
+            return list(executor.map(lambda task: _run_on(engine, kind, task), tasks))
+        with self._lock:
+            token = self._token_for(engine, kind)
+            if self._replicas is None or token != self._replica_token:
+                self._replicas = _make_train_replicas(engine, self.workers)
+                self._replica_token = token
+            replicas = self._replicas
+
+        def run(task: Any) -> Any:
+            replica = replicas.get()
+            try:
+                return _run_on(replica, kind, task)
+            finally:
+                replicas.put(replica)
+
+        return list(executor.map(run, tasks))
+
+    # ------------------------------------------------------------------
+    def _shutdown_process_executor_locked(self) -> None:
+        """Drop the process executor; caller must hold ``self._lock``."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._token = None
+
+    def _shutdown_process_executor(self) -> None:
+        with self._lock:
+            self._shutdown_process_executor_locked()
+
+    def close(self) -> None:
+        """Shut down every executor and replica; the pool becomes unusable."""
+        if self.closed:
+            return
+        self.closed = True
+        with self._lock:
+            self._shutdown_process_executor_locked()
+            if self._thread_executor is not None:
+                self._thread_executor.shutdown(wait=True)
+                self._thread_executor = None
+            self._replicas = None
+            self._replica_token = None
+            self._structure_cache = None
+
+    # Context-manager protocol: ``with WorkerPool(4) as pool: ...``
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (
+            f"WorkerPool(id={self.pool_id}, workers={self.workers}, "
+            f"backend={self.backend!r}, runs={self.runs}, {state})"
+        )
+
+
+#: Lazily-created module singletons, one per (workers, backend) combination.
+_SHARED_POOLS: Dict[Tuple[int, str], WorkerPool] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_pool(workers: int, backend: str = "process") -> WorkerPool:
+    """The lazy module-level singleton pool for a (workers, backend) config.
+
+    Callers that cannot own a pool's lifetime (one-line scripts, notebook
+    cells) can still amortise startup across calls; the singletons are shut
+    down at interpreter exit.
+    """
+    key = (workers, backend)
+    with _SHARED_LOCK:
+        pool = _SHARED_POOLS.get(key)
+        if pool is None or pool.closed:
+            pool = WorkerPool(workers, backend)
+            _SHARED_POOLS[key] = pool
+        return pool
+
+
+def close_shared_pools() -> None:
+    """Shut down every module-level singleton pool (idempotent)."""
+    with _SHARED_LOCK:
+        for pool in _SHARED_POOLS.values():
+            pool.close()
+        _SHARED_POOLS.clear()
+
+
+atexit.register(close_shared_pools)
 
 
 def run_sharded(
@@ -167,15 +490,19 @@ def run_sharded(
     tasks: Sequence[Any],
     workers: int,
     backend: str = "process",
+    pool: Optional[WorkerPool] = None,
 ) -> List[Any]:
     """Run chunk ``tasks`` on ``workers`` workers; results in task order.
 
     ``workers=1`` (or a single task) short-circuits to a plain loop over
     the live engine -- no pool, no payload copy, today's sequential path.
-    The process backend degrades to threads when the platform cannot build
-    a process pool (missing semaphores, unpicklable payload); the result is
-    bit-identical either way because every task carries its own spawned
-    seed-sequence child.
+    When ``pool`` is given (and open), dispatch goes through that
+    persistent :class:`WorkerPool` -- its worker count and backend govern
+    -- instead of building a throwaway executor.  The process backend
+    degrades to threads when the platform cannot build a process pool
+    (missing semaphores, unpicklable payload); the result is bit-identical
+    either way because every task carries its own spawned seed-sequence
+    child.
     """
     if backend not in BACKENDS:
         raise ConfigError(
@@ -184,13 +511,15 @@ def run_sharded(
     if workers < 1:
         raise ConfigError(f"workers must be >= 1, got {workers}")
     tasks = list(tasks)
+    if pool is not None and not pool.closed:
+        return pool.run(engine, kind, tasks)
     if workers == 1 or len(tasks) <= 1:
         return [_run_on(engine, kind, task) for task in tasks]
     if backend == "thread":
         return _run_threads(engine, kind, tasks, workers)
     try:
         return _run_processes(engine, kind, tasks, workers)
-    except (OSError, BrokenProcessPool, pickle.PicklingError) as exc:
+    except _POOL_FAILURES as exc:
         # Pool-infrastructure failures (no POSIX semaphores, forbidden
         # fork, crashed/OOM-killed worker, unpicklable payload).  Domain
         # errors (GenerationError/ConfigError) propagate untouched.  The

@@ -102,12 +102,17 @@ class EgoGraphSampler:
             uniform=self.config.uniform_initial_sampling,
         )
 
-    def batch_for_centers(self, centers: np.ndarray) -> TrainingBatch:
+    def batch_for_centers(
+        self, centers: np.ndarray, target_rows: Optional[List[np.ndarray]] = None
+    ) -> TrainingBatch:
         """Build the training batch (ego-graphs + targets) for explicit centres.
 
         The computation-graph views (merged bipartite / padded packed) are
         materialised lazily by :class:`TrainingBatch`, so callers only pay
-        for the layout they actually consume.
+        for the layout they actually consume.  ``target_rows`` may carry
+        precomputed adjacency rows for the centres (the sharded trainer
+        computes them once for the whole epoch batch); ``None`` derives them
+        here.
         """
         egos = ego_graph_batch(
             self.graph,
@@ -117,8 +122,12 @@ class EgoGraphSampler:
             time_window=self.config.time_window,
             rng=self.rng,
         )
-        targets = adjacency_target_rows(
-            self.graph.src, self.graph.dst, self.graph.t, centers
+        targets = (
+            list(target_rows)
+            if target_rows is not None
+            else adjacency_target_rows(
+                self.graph.src, self.graph.dst, self.graph.t, centers
+            )
         )
         candidates = None
         if self.config.candidate_limit > 0:

@@ -1,24 +1,54 @@
-"""Mini-batch training loop for TGAE (Sec. IV-E).
+"""Data-parallel mini-batch training for TGAE (Sec. IV-E).
 
 Each epoch draws one batch of ``n_s`` centre ego-graphs (the approximate
 objective of Eq. 7 - the paper's trade-off knob between quality and speed),
-runs the encoder/decoder, and applies one Adam step with gradient clipping.
+partitions it into fixed-size *shards*, runs forward+backward per shard, and
+merges the shard gradients -- in shard order -- into one Adam step with
+gradient clipping.
+
+Sharding is what makes training scale on both axes at once:
+
+* **Time**: shards are independent, so ``workers > 1`` fans them out over
+  the same process/thread pool the generation engine uses
+  (:mod:`repro.core.parallel`).  Every shard owns a spawned
+  :class:`~numpy.random.SeedSequence` child driving its ego sampling,
+  candidate negatives and reparameterisation noise, and gradients are summed
+  in shard order, so the loss/gradient trajectory -- and therefore the final
+  weights -- are **bit-identical for every worker count and backend**.
+* **Memory**: with ``config.checkpoint_attention`` the TGAT layers free
+  their per-edge activations (the O(batch * ego^2) tensors that dominate
+  training peak memory) after the forward pass and recompute them during
+  backward; checkpointing is exact, so the loss trajectory does not change
+  by a single bit.  Smaller ``train_shard_size`` additionally bounds how
+  many ego-graphs are ever in flight at once.
 """
 
 from __future__ import annotations
 
+import math
+import time
+import tracemalloc
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..errors import ConfigError
+from ..graph.ego_graph import sample_initial_nodes
 from ..graph.temporal_graph import TemporalGraph
-from ..optim import Adam, clip_grad_norm
-from ..rng import stream
+from ..optim import Adam, clip_grad_norm, load_gradients, merge_gradient_shards
+from ..rng import seed_sequence, spawn_streams
 from .config import TGAEConfig
-from .loss import tgae_loss
+from .loss import adjacency_target_rows, tgae_shard_loss
 from .model import TGAEModel
+from .parallel import BACKENDS, WorkerPool
 from .sampler import EgoGraphSampler
+
+#: Default number of shards an epoch batch is split into when
+#: ``config.train_shard_size`` is unset.  Fixed (never derived from the
+#: worker count) so the partitioning -- and therefore every draw -- is
+#: identical no matter how many workers execute the shards.
+DEFAULT_TRAIN_SHARDS = 4
 
 
 @dataclass
@@ -27,10 +57,101 @@ class TrainingHistory:
 
     losses: List[float] = field(default_factory=list)
     grad_norms: List[float] = field(default_factory=list)
+    #: Wall-clock seconds per epoch (always recorded).
+    epoch_seconds: List[float] = field(default_factory=list)
+    #: Peak traced bytes per epoch; zeros unless ``track_memory`` was on.
+    peak_memory_bytes: List[int] = field(default_factory=list)
 
     @property
     def final_loss(self) -> Optional[float]:
         return self.losses[-1] if self.losses else None
+
+    @property
+    def total_seconds(self) -> float:
+        """Total training wall-clock over all epochs."""
+        return float(sum(self.epoch_seconds))
+
+    @property
+    def peak_memory(self) -> int:
+        """Largest per-epoch traced peak (0 when memory was not tracked)."""
+        return max(self.peak_memory_bytes, default=0)
+
+
+@dataclass(frozen=True)
+class TrainShardTask:
+    """One shard of an epoch's data-parallel fan-out.
+
+    Mirrors :class:`~repro.core.engine.GenerateChunkTask`: index arrays and
+    a spawned seed-sequence child, never live graph or model objects.  The
+    global loss normalisers (``recon_scale = 1/active_total``,
+    ``kl_scale = 1/batch_rows``) ride along so shard losses and gradients
+    are additive; ``state`` carries the current weights when the shard runs
+    on a pool worker (``None`` on the in-process sequential path, where the
+    live model already has them).
+    """
+
+    index: int
+    centers: np.ndarray
+    target_rows: Tuple[np.ndarray, ...]
+    recon_scale: float
+    kl_scale: float
+    seed_seq: np.random.SeedSequence
+    state: Optional[Dict[str, np.ndarray]] = None
+
+
+@dataclass(frozen=True)
+class TrainShardResult:
+    """What one shard reports back: its loss term and gradient sums."""
+
+    index: int
+    loss: float
+    grads: Dict[str, np.ndarray]
+
+
+def run_train_shard(engine, task: TrainShardTask) -> TrainShardResult:
+    """Forward+backward for one shard; pure given the task.
+
+    Runs in the parent (``workers=1``), on a thread-pool model replica, or
+    in a worker process against a rebuilt engine -- identically in all
+    three: ego sampling, candidate negatives and reparameterisation noise
+    all come from the task's spawned seed-sequence child, and the weights
+    are either the live model's (sequential) or the bit-equal copy shipped
+    in ``task.state``.
+    """
+    model: TGAEModel = engine.model
+    config: TGAEConfig = engine.config
+    if task.state is not None:
+        model.load_state_dict(task.state)
+    rng = np.random.default_rng(task.seed_seq)
+    sampler = EgoGraphSampler(engine.graph, config, rng)
+    batch = sampler.batch_for_centers(task.centers, target_rows=list(task.target_rows))
+    computation = batch.computation_batch(config.packed_batches)
+    decoded = model(
+        computation, sample=True, candidates=batch.candidates, noise_rng=rng
+    )
+    loss = tgae_shard_loss(
+        decoded,
+        batch.target_rows,
+        kl_weight=config.kl_weight,
+        recon_scale=task.recon_scale,
+        kl_scale=task.kl_scale,
+        candidates=batch.candidates,
+    )
+    model.zero_grad()
+    if loss.requires_grad:
+        loss.backward()
+    grads = {
+        name: param.grad.copy()
+        for name, param in model.named_parameters()
+        if param.grad is not None
+    }
+    return TrainShardResult(index=task.index, loss=loss.item(), grads=grads)
+
+
+def _resolve_shard_size(config: TGAEConfig) -> int:
+    if config.train_shard_size is not None:
+        return config.train_shard_size
+    return max(1, math.ceil(config.num_initial_nodes / DEFAULT_TRAIN_SHARDS))
 
 
 def train_tgae(
@@ -39,38 +160,146 @@ def train_tgae(
     config: Optional[TGAEConfig] = None,
     rng: Optional[np.random.Generator] = None,
     verbose: bool = False,
+    workers: Optional[int] = None,
+    backend: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
+    track_memory: bool = False,
 ) -> TrainingHistory:
     """Optimise ``model`` on ``graph`` with the Eq. 7 mini-batch objective.
 
-    Returns the loss/gradient history so callers (and tests) can verify the
-    optimisation actually made progress.
+    Parameters
+    ----------
+    model, graph, config:
+        The model to optimise, the observed graph, and the hyper-parameters
+        (``None``: the model's own config).
+    rng:
+        Optional generator seeding the run (its next draw becomes the root
+        of every epoch/shard stream).  ``None`` uses the named
+        ``(seed, "tgae", "trainer")`` stream -- the reproducible default.
+    verbose:
+        Print one line per epoch (loss, gradient norm, wall-clock and, when
+        tracked, peak memory).
+    workers, backend:
+        Data-parallel knobs, defaulting to ``config.workers`` /
+        ``config.parallel_backend``.  Shard partitioning and per-shard
+        streams never depend on them, so the training trajectory is
+        bit-identical for every worker count and backend.
+    pool:
+        A caller-owned persistent :class:`~repro.core.parallel.WorkerPool`
+        to dispatch shards through.  ``None`` with ``workers > 1`` creates
+        a private pool for the run and tears it down afterwards (the pool
+        persists *across epochs* either way -- that is what amortises
+        process startup).
+    track_memory:
+        Record per-epoch tracemalloc peaks into the history.  Starts
+        tracing if it is not already running (and stops it afterwards);
+        when a caller already traces, the caller's peak counters are reset
+        every epoch.
+
+    Returns the loss/gradient/etc. history so callers (and tests) can verify
+    the optimisation actually made progress.
     """
+    from .engine import GenerationEngine
+
     config = config if config is not None else model.config
-    rng = rng if rng is not None else stream(config.seed, "tgae", "trainer")
-    sampler = EgoGraphSampler(graph, config, rng)
+    workers = int(workers if workers is not None else config.workers)
+    if workers < 1:
+        raise ConfigError(f"workers must be >= 1, got {workers}")
+    backend = backend if backend is not None else config.parallel_backend
+    if backend not in BACKENDS:
+        raise ConfigError(
+            f"parallel backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    shard_size = _resolve_shard_size(config)
+    if rng is None:
+        root = seed_sequence(config.seed, "tgae", "trainer")
+    else:
+        root = np.random.SeedSequence(int(rng.integers(np.iinfo(np.int64).max)))
+    epoch_seqs = spawn_streams(root, config.epochs)
+
     optimizer = Adam(model.parameters(), lr=config.learning_rate)
     history = TrainingHistory()
+    engine = GenerationEngine(model, graph, config)
+    own_pool = pool is None and workers > 1
+    if own_pool:
+        pool = WorkerPool(workers, backend)
+    started_tracing = False
+    if track_memory and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        started_tracing = True
     model.train()
-    for epoch in range(config.epochs):
-        batch = sampler.next_batch()
-        # One encoder forward per minibatch; the packed (padded ego-parallel)
-        # layout is the vectorised hot path, the merged bipartite layout the
-        # cross-ego-sharing alternative.
-        computation = batch.computation_batch(config.packed_batches)
-        decoded = model(computation, sample=True, candidates=batch.candidates)
-        loss = tgae_loss(
-            decoded,
-            batch.target_rows,
-            kl_weight=config.kl_weight,
-            candidates=batch.candidates,
-        )
-        optimizer.zero_grad()
-        loss.backward()
-        grad_norm = clip_grad_norm(model.parameters(), config.grad_clip)
-        optimizer.step()
-        history.losses.append(loss.item())
-        history.grad_norms.append(grad_norm)
-        if verbose:
-            print(f"[tgae] epoch {epoch + 1}/{config.epochs}  loss={loss.item():.4f}")
-    model.eval()
+    try:
+        for epoch in range(config.epochs):
+            tick = time.perf_counter()
+            if track_memory:
+                tracemalloc.reset_peak()
+            # One centre stream and one shard root per epoch, both spawned
+            # from the run root -- execution order can never leak in.
+            center_seq, shard_root = epoch_seqs[epoch].spawn(2)
+            centers = sample_initial_nodes(
+                graph,
+                config.num_initial_nodes,
+                np.random.default_rng(center_seq),
+                uniform=config.uniform_initial_sampling,
+            )
+            targets = adjacency_target_rows(graph.src, graph.dst, graph.t, centers)
+            active_total = sum(1 for row in targets if np.asarray(row).size)
+            recon_scale = (1.0 / active_total) if active_total else 0.0
+            kl_scale = 1.0 / centers.shape[0]
+            starts = list(range(0, centers.shape[0], shard_size))
+            children = spawn_streams(shard_root, len(starts))
+            pooled = (
+                pool is not None
+                and not pool.closed
+                and pool.workers > 1
+                and len(starts) > 1
+            )
+            state = model.state_dict() if pooled else None
+            tasks = [
+                TrainShardTask(
+                    index=i,
+                    centers=centers[start : start + shard_size],
+                    target_rows=tuple(targets[start : start + shard_size]),
+                    recon_scale=recon_scale,
+                    kl_scale=kl_scale,
+                    seed_seq=children[i],
+                    state=state,
+                )
+                for i, start in enumerate(starts)
+            ]
+            if pooled:
+                results = pool.run(engine, "train", tasks)
+            else:
+                results = [run_train_shard(engine, task) for task in tasks]
+            # Deterministic merge: shard order, never completion order.
+            load_gradients(
+                model.named_parameters(),
+                merge_gradient_shards([result.grads for result in results]),
+            )
+            loss_value = float(sum(result.loss for result in results))
+            grad_norm = clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            history.losses.append(loss_value)
+            history.grad_norms.append(grad_norm)
+            history.epoch_seconds.append(time.perf_counter() - tick)
+            peak = tracemalloc.get_traced_memory()[1] if track_memory else 0
+            history.peak_memory_bytes.append(int(peak))
+            if verbose:
+                memory = (
+                    f"  peak={peak / 1e6:.1f}MB" if track_memory else ""
+                )
+                print(
+                    f"[tgae] epoch {epoch + 1}/{config.epochs}  "
+                    f"loss={loss_value:.4f}  grad_norm={grad_norm:.3f}  "
+                    f"{history.epoch_seconds[-1]:.2f}s{memory}"
+                )
+    finally:
+        # An epoch that raises must not leak training state: the model goes
+        # back to eval mode, tracing we started stops, and a pool we created
+        # is torn down (a caller-owned pool is returned untouched).
+        model.eval()
+        if started_tracing:
+            tracemalloc.stop()
+        if own_pool and pool is not None:
+            pool.close()
     return history

@@ -3,7 +3,7 @@
 from .activations import Dropout, LeakyReLU, ReLU, Sigmoid, Tanh
 from .attention import TemporalGraphAttention, TimeEncoding
 from .container import ModuleList, Sequential
-from .linear import Embedding, Linear
+from .linear import Embedding, Linear, embedding_lookup
 from .mlp import MLP
 from .module import Module, Parameter
 from .norm import LayerNorm
@@ -14,6 +14,7 @@ __all__ = [
     "Parameter",
     "Linear",
     "Embedding",
+    "embedding_lookup",
     "MLP",
     "Sequential",
     "ModuleList",

@@ -59,6 +59,23 @@ class Linear(Module):
         return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
 
 
+def embedding_lookup(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Embedding gather on an explicit weight tensor.
+
+    The functional core of :class:`Embedding`, shared with code (the TGAE
+    encoder's checkpointed input pipeline) that must run the lookup on leaf
+    copies of the weight rather than through the module.
+    """
+    idx = np.asarray(indices, dtype=np.int64)
+    num_embeddings, embedding_dim = weight.shape
+    if idx.size and (idx.min() < 0 or idx.max() >= num_embeddings):
+        raise IndexError(
+            f"embedding index out of range [0, {num_embeddings}): "
+            f"[{idx.min()}, {idx.max()}]"
+        )
+    return weight.take_rows(idx.reshape(-1)).reshape(*idx.shape, embedding_dim)
+
+
 class Embedding(Module):
     """Lookup table mapping integer ids to dense vectors.
 
@@ -81,13 +98,7 @@ class Embedding(Module):
         self.weight = Parameter(init.normal((num_embeddings, embedding_dim), rng, std=0.1))
 
     def forward(self, indices: np.ndarray) -> Tensor:
-        idx = np.asarray(indices, dtype=np.int64)
-        if idx.size and (idx.min() < 0 or idx.max() >= self.num_embeddings):
-            raise IndexError(
-                f"embedding index out of range [0, {self.num_embeddings}): "
-                f"[{idx.min()}, {idx.max()}]"
-            )
-        return self.weight.take_rows(idx.reshape(-1)).reshape(*idx.shape, self.embedding_dim)
+        return embedding_lookup(self.weight, indices)
 
     def __repr__(self) -> str:
         return f"Embedding({self.num_embeddings}, {self.embedding_dim})"

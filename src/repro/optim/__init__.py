@@ -1,8 +1,18 @@
-"""Optimizers and learning-rate schedules for the repro substrate."""
+"""Optimizers, learning-rate schedules, and gradient plumbing for the repro substrate."""
 
+from .accumulate import load_gradients, merge_gradient_shards
 from .adam import Adam
 from .clip import clip_grad_norm
 from .scheduler import ConstantLR, ExponentialDecayLR, StepLR
 from .sgd import SGD
 
-__all__ = ["SGD", "Adam", "clip_grad_norm", "ConstantLR", "StepLR", "ExponentialDecayLR"]
+__all__ = [
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "merge_gradient_shards",
+    "load_gradients",
+    "ConstantLR",
+    "StepLR",
+    "ExponentialDecayLR",
+]

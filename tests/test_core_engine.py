@@ -39,13 +39,15 @@ from repro.graph import TemporalGraph, validate_generated
 
 # Dense-path fingerprints on communication_network(25, 150, 5, seed=17)
 # with fast_config(epochs=3, num_initial_nodes=12): sha256 of the lexsorted
-# (t, src, dst) triples.  Captured under the seed-sequence RNG registry
-# (named training/noise streams, per-chunk spawned generation streams); any
-# unintended change to training draws, chunking, or stream derivation shows
+# (t, src, dst) triples.  Captured under the sharded-trainer RNG scheme
+# (per-epoch centre streams + per-shard spawned children driving ego
+# sampling, candidate negatives and decoder noise -- the scheme that makes
+# training bit-identical for every worker count); any unintended change to
+# training draws, shard partitioning, chunking, or stream derivation shows
 # up here as a mismatch.
 GOLDEN_DENSE = {
-    0: "bb80bc0ac0b5f9521ba98c3717773c2ea93663e4b6e2f18cd9f9bc6554e5d87b",
-    7: "c8262954cafe55e83c5b9621e54836f2faea4e558233d4cb297bbc95be085052",
+    0: "ee0ae0b1f7d16d72650a94ae28e2e399866d121e858de29f2be9e497e28fd59b",
+    7: "025c3690a8bd6c0da02edc83586d6710b3c065a662db32a242d3cf866d26a277",
 }
 
 
