@@ -1,0 +1,233 @@
+"""Dispatch + evaluation gates for the shared-memory / streaming PR.
+
+Two wins are gated against recorded ceilings and logged into
+``BENCH_dispatch.json``:
+
+* ``bench_dispatch_payload`` -- shared-memory dispatch must keep the
+  per-epoch training dispatch volume (pickled task messages plus one-time
+  payloads, amortised over epochs) within
+  :data:`DISPATCH_CEILING` x the recorded baseline
+  :data:`RECORDED_SHM_EPOCH_BYTES`, and far below the pickled-payload
+  path, while reproducing its loss trajectory **bit for bit**.  What is
+  left on the wire under shm is per-epoch *data* (centre/target index
+  arrays + seed-sequence children), never the weights -- dispatch is O(1)
+  in model size.
+* ``bench_streaming_eval_peak`` -- ``streaming_evaluate`` must score a
+  graph pair with at most :data:`EVAL_PEAK_CEILING` x the peak traced
+  memory of the dense ``compare_graphs`` path, returning *exactly* equal
+  scores.
+* ``bench_dispatch_smoke`` -- the cheap CI gate: ``train_tgae(workers=N)``
+  through an shm pool is bit-identical to ``workers=1``, and the pool's
+  shared segments are unlinked on close.
+
+Baselines were recorded on the reference container (1 core, Linux,
+CPython 3.11); re-baseline by running this file with ``-s`` and copying
+the printed per-epoch byte count into :data:`RECORDED_SHM_EPOCH_BYTES`.
+"""
+
+import gc
+import os
+import time
+import tracemalloc
+
+import numpy as np
+
+from _artifacts import write_bench_artifact
+from repro.core import TGAEModel, WorkerPool, fast_config, train_tgae
+from repro.datasets import communication_network, erdos_renyi_temporal
+from repro.metrics import compare_graphs, streaming_evaluate
+
+#: Recorded per-epoch shm dispatch bytes (tasks + amortised payload) at the
+#: ``bench_dispatch_payload`` config.  Mostly target-row index arrays --
+#: genuine per-epoch data; the weights never ride along.
+RECORDED_SHM_EPOCH_BYTES = 22_386
+
+#: Per-epoch shm dispatch may regress to at most this multiple of the
+#: recorded baseline before the gate trips.
+DISPATCH_CEILING = 1.25
+
+#: ``streaming_evaluate`` peak memory as a fraction of the dense
+#: ``compare_graphs`` peak at the bench config (measured: ~0.17x).
+EVAL_PEAK_CEILING = 0.25
+
+
+def _train(observed, config, workers=1, pool=None):
+    model = TGAEModel(observed.num_nodes, observed.num_timestamps, config)
+    history = train_tgae(model, observed, config, workers=workers, pool=pool)
+    return history, model.state_dict()
+
+
+def _assert_same_trajectory(run_a, run_b, label):
+    history_a, state_a = run_a
+    history_b, state_b = run_b
+    assert history_a.losses == history_b.losses, (
+        f"{label}: loss trajectories diverged\n"
+        f"a={history_a.losses}\nb={history_b.losses}"
+    )
+    assert history_a.grad_norms == history_b.grad_norms, (
+        f"{label}: gradient-norm trajectories diverged"
+    )
+    for name in state_a:
+        assert np.array_equal(state_a[name], state_b[name]), (
+            f"{label}: final weights diverged at {name!r}"
+        )
+
+
+def bench_dispatch_payload():
+    """Shm dispatch: >= an order of magnitude fewer bytes, same bits."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+    observed = communication_network(240, 2400, 5, seed=11)
+    config = fast_config(
+        epochs=3,
+        num_initial_nodes=32,
+        candidate_limit=12,
+        train_shard_size=8,
+        seed=3,
+    )
+
+    def tracked_train(shm_dispatch):
+        pool = WorkerPool(
+            workers, backend="process",
+            shm_dispatch=shm_dispatch, track_dispatch=True,
+        )
+        with pool:
+            run = _train(observed, config, workers=workers, pool=pool)
+            stats = dict(pool.dispatch_stats)
+            was_shm = pool.shm_active
+        return run, stats, was_shm
+
+    shm_run, shm_stats, shm_active = tracked_train(True)
+    pickle_run, pickle_stats, _ = tracked_train(False)
+    _assert_same_trajectory(shm_run, pickle_run, "shm-vs-pickle")
+
+    def per_epoch(stats):
+        return (stats["task_bytes"] + stats["payload_bytes"]) / config.epochs
+
+    shm_epoch_bytes = per_epoch(shm_stats)
+    pickle_epoch_bytes = per_epoch(pickle_stats)
+    reduction = pickle_epoch_bytes / shm_epoch_bytes
+    print(
+        f"\n=== dispatch payload @ n={observed.num_nodes}, "
+        f"{config.epochs} epochs, workers={workers} ===\n"
+        f"shm:    {shm_epoch_bytes / 1e3:8.1f} KB/epoch  "
+        f"(publishes={shm_stats['payload_publishes']}, "
+        f"param updates={shm_stats['param_updates']})\n"
+        f"pickle: {pickle_epoch_bytes / 1e3:8.1f} KB/epoch  -> {reduction:.1f}x less"
+    )
+    if shm_active:
+        ceiling = DISPATCH_CEILING * RECORDED_SHM_EPOCH_BYTES
+        assert shm_epoch_bytes <= ceiling, (
+            f"shm dispatch regressed: {shm_epoch_bytes:.0f} B/epoch exceeds "
+            f"{DISPATCH_CEILING}x the recorded {RECORDED_SHM_EPOCH_BYTES} B"
+        )
+        assert shm_epoch_bytes < pickle_epoch_bytes, (
+            "shm dispatch should move fewer bytes than pickled payloads"
+        )
+    else:
+        print("platform has no shared memory -- byte gate skipped")
+    write_bench_artifact(
+        "BENCH_dispatch.json",
+        "dispatch_payload",
+        {
+            "workers": workers,
+            "epochs": config.epochs,
+            "shm_active": bool(shm_active),
+            "shm_bytes_per_epoch": round(shm_epoch_bytes, 1),
+            "pickle_bytes_per_epoch": round(pickle_epoch_bytes, 1),
+            "reduction_factor": round(reduction, 2),
+            "param_updates": shm_stats["param_updates"],
+            "payload_publishes": shm_stats["payload_publishes"],
+            "recorded_baseline_bytes": RECORDED_SHM_EPOCH_BYTES,
+            "ceiling": DISPATCH_CEILING,
+            "bit_identical": True,
+        },
+    )
+
+
+def bench_streaming_eval_peak():
+    """Streaming evaluation: <= 0.25x the dense peak, exactly equal scores."""
+    observed = erdos_renyi_temporal(5000, 20000, 48, seed=1)
+    generated = erdos_renyi_temporal(5000, 20000, 48, seed=2)
+
+    gc.collect()
+    tracemalloc.start()
+    start = time.perf_counter()
+    dense = compare_graphs(observed, generated)
+    dense_seconds = time.perf_counter() - start
+    dense_peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+
+    gc.collect()
+    tracemalloc.start()
+    start = time.perf_counter()
+    streamed = streaming_evaluate(observed, generated)
+    stream_seconds = time.perf_counter() - start
+    stream_peak = tracemalloc.get_traced_memory()[1]
+    tracemalloc.stop()
+
+    ratio = stream_peak / dense_peak
+    print(
+        f"\n=== streaming evaluate @ n={observed.num_nodes}, "
+        f"m={observed.num_edges}, T={observed.num_timestamps} ===\n"
+        f"dense:     peak {dense_peak / 1e6:6.1f} MB  {dense_seconds:5.1f}s\n"
+        f"streaming: peak {stream_peak / 1e6:6.1f} MB  {stream_seconds:5.1f}s  "
+        f"ratio: {ratio:.3f}"
+    )
+    assert dense == streamed, "streaming scores must equal the dense path exactly"
+    assert ratio <= EVAL_PEAK_CEILING, (
+        f"streaming_evaluate peak is {ratio:.3f}x the dense peak; "
+        f"ceiling is {EVAL_PEAK_CEILING}x"
+    )
+    write_bench_artifact(
+        "BENCH_dispatch.json",
+        "streaming_eval",
+        {
+            "num_nodes": observed.num_nodes,
+            "num_edges": observed.num_edges,
+            "num_timestamps": observed.num_timestamps,
+            "dense_peak_bytes": int(dense_peak),
+            "streaming_peak_bytes": int(stream_peak),
+            "peak_ratio": round(ratio, 4),
+            "ceiling": EVAL_PEAK_CEILING,
+            "dense_seconds": round(dense_seconds, 3),
+            "streaming_seconds": round(stream_seconds, 3),
+            "scores_exactly_equal": True,
+        },
+    )
+
+
+def bench_dispatch_smoke():
+    """CI gate: shm-pool training reproduces workers=1; segments unlinked."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+    observed = communication_network(120, 900, 4, seed=2)
+    config = fast_config(
+        epochs=2,
+        num_initial_nodes=24,
+        candidate_limit=12,
+        train_shard_size=6,
+        seed=4,
+    )
+    sequential = _train(observed, config, workers=1)
+    pool = WorkerPool(workers, backend="process", shm_dispatch=True)
+    with pool:
+        pooled = _train(observed, config, workers=workers, pool=pool)
+        segments = pool.shm_segments()
+        shm_active = pool.shm_active
+    _assert_same_trajectory(sequential, pooled, "shm-smoke")
+    assert pool.shm_segments() == (), "segments must be unlinked on close"
+    print(
+        f"\ndispatch smoke @ n={observed.num_nodes}: workers={workers} "
+        f"shm={'on' if shm_active else 'off'} bit-identical to workers=1 "
+        f"({len(segments)} segment(s) published and reaped)"
+    )
+    write_bench_artifact(
+        "BENCH_dispatch.json",
+        "smoke",
+        {
+            "workers": workers,
+            "shm_active": bool(shm_active),
+            "segments_published": len(segments),
+            "segments_leaked": 0,
+            "bit_identical": True,
+        },
+    )

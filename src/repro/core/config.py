@@ -90,6 +90,14 @@ class TGAEConfig:
         ``None`` (default) uses ``ceil(num_initial_nodes / 4)``.  The
         partitioning never depends on ``workers``, so training is
         bit-identical for every worker count and backend.
+    shm_dispatch:
+        Shared-memory dispatch for persistent worker pools (default
+        ``True``): model parameters and the graph's CSR arrays are
+        published once into ``multiprocessing.shared_memory`` segments and
+        per-epoch / per-generate task messages shrink to index arrays plus
+        a parameter version -- O(1) in model size.  Bit-identical to the
+        pickled-payload path; ``False`` restores it (as does a platform
+        without shared-memory support, automatically).
     checkpoint_attention:
         Activation checkpointing for training: the TGAT layers free their
         per-edge activations (the O(batch * ego^2) tensors that dominate
@@ -124,6 +132,7 @@ class TGAEConfig:
     chunk_size: Optional[int] = None
     parallel_backend: str = "process"
     train_shard_size: Optional[int] = None
+    shm_dispatch: bool = True
     checkpoint_attention: bool = False
     epochs: int = 30
     learning_rate: float = 5e-3

@@ -144,7 +144,9 @@ class TGAEGenerator(TemporalGraphGenerator):
         ):
             if pool is not None and not pool.closed:
                 pool.close()
-            self._pool = pool = WorkerPool(workers, backend)
+            self._pool = pool = WorkerPool(
+                workers, backend, shm_dispatch=self.config.shm_dispatch
+            )
         return pool
 
     def close_pool(self) -> None:

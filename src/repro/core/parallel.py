@@ -32,6 +32,26 @@ output.
 ``generate()`` / ``score_topk()`` calls and every epoch of a training run,
 so many-sample workloads (significance tests, top-k sweeps, multi-epoch
 training) pay process startup and graph shipping once instead of per call.
+
+Shared-memory dispatch
+----------------------
+
+On the process backend a persistent pool additionally publishes everything
+large -- the model parameters and the graph's edge/CSR arrays -- into
+:mod:`multiprocessing.shared_memory` segments (:class:`SharedArrayStore`:
+one writer, N readers).  Workers attach the segments once, by name, through
+a ~5 KB :class:`ShmWorkerPayload` of handles; after that, per-epoch and
+per-generate dispatch is **O(1) in model size**: task messages carry only
+index arrays and seed-sequence children, and a refreshed model (a new epoch,
+a refit) is shipped by overwriting the parameter segment *in place* and
+bumping a version counter -- no re-pickle, no executor rebuild.  Segments
+are fingerprint-keyed: the graph/config/shape *structure* token decides when
+workers must be rebuilt, while weight-only changes ride the in-place update
+path.  The pool owns the segments and unlinks them on :meth:`WorkerPool.close`
+(and on degrade-to-threads, worker crash, or interpreter exit); teardown is
+idempotent and safe to run from ``atexit``.  ``shm_dispatch=False`` (or
+``TGAEConfig(shm_dispatch=False)``) restores the plain pickled-payload
+dispatch.
 """
 
 from __future__ import annotations
@@ -40,6 +60,7 @@ import atexit
 import hashlib
 import itertools
 import multiprocessing
+import os
 import pickle
 import queue
 import threading
@@ -49,7 +70,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import partial
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,10 +80,16 @@ from .config import TGAEConfig
 
 __all__ = [
     "BACKENDS",
+    "SharedArrayStore",
+    "ShmArraySpec",
+    "ShmHandle",
+    "ShmWorkerPayload",
     "WorkerPayload",
     "WorkerPool",
+    "attach_shared_arrays",
     "payload_from_engine",
     "run_sharded",
+    "shared_memory_supported",
     "shared_pool",
     "close_shared_pools",
 ]
@@ -73,6 +100,9 @@ BACKENDS = ("process", "thread")
 #: Pool-infrastructure failures that trigger the loud thread-backend retry.
 _POOL_FAILURES = (OSError, BrokenProcessPool, pickle.PicklingError)
 
+#: Byte alignment of arrays inside a shared segment (cache-line friendly).
+_SHM_ALIGN = 64
+
 
 @dataclass(frozen=True)
 class WorkerPayload:
@@ -81,7 +111,9 @@ class WorkerPayload:
     Shipped once per worker through the pool initializer (cheap under
     ``fork``, a single pickle under ``spawn``); the worker rebuilds the
     model from its ``state_dict`` and the graph from its edge arrays, the
-    same way :func:`repro.core.persistence.load_generator` does.
+    same way :func:`repro.core.persistence.load_generator` does.  This is
+    the non-shared-memory dispatch format; see :class:`ShmWorkerPayload`
+    for the O(1)-in-model-size variant.
     """
 
     state: Dict[str, np.ndarray]
@@ -107,6 +139,220 @@ def payload_from_engine(engine: Any) -> WorkerPayload:
         t=graph.t,
         external_features=engine.model.encoder._external_features,
     )
+
+
+# ----------------------------------------------------------------------
+# Shared-memory array store (one writer, N readers)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShmArraySpec:
+    """Location of one named array inside a shared segment."""
+
+    key: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """A picklable reference to a shared segment and the arrays it holds.
+
+    A handle is a few hundred bytes regardless of how many megabytes the
+    arrays weigh -- this is what makes shm dispatch O(1) in model size.
+    Readers turn it back into arrays with :func:`attach_shared_arrays`.
+    """
+
+    segment: str
+    nbytes: int
+    specs: Tuple[ShmArraySpec, ...]
+
+
+class SharedArrayStore:
+    """A writer-owned ``multiprocessing.shared_memory`` segment of named arrays.
+
+    The creating process is the single writer: it lays the arrays out
+    contiguously (64-byte aligned) in one segment at construction and may
+    later overwrite them in place with :meth:`update` (same keys, shapes
+    and dtypes -- the in-place path is how a training run re-publishes its
+    weights every epoch without re-shipping anything).  Reader processes
+    attach by name through the store's :attr:`handle` and get zero-copy
+    read-only NumPy views.
+
+    Only the creating process ever unlinks the segment (:meth:`close` is a
+    no-op on the unlink step in forked children), closing is idempotent,
+    and every teardown error is swallowed so interpreter-shutdown ordering
+    can never raise ``BufferError`` out of an ``atexit`` hook.
+    """
+
+    __slots__ = ("handle", "_shm", "_spec_by_key", "_owner_pid")
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]) -> None:
+        from multiprocessing import shared_memory
+
+        specs: List[ShmArraySpec] = []
+        contiguous: Dict[str, np.ndarray] = {}
+        offset = 0
+        for key, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            contiguous[key] = arr
+            offset = ((offset + _SHM_ALIGN - 1) // _SHM_ALIGN) * _SHM_ALIGN
+            specs.append(ShmArraySpec(key, arr.dtype.str, tuple(arr.shape), offset))
+            offset += arr.nbytes
+        size = max(offset, 1)
+        self._owner_pid = os.getpid()
+        self._shm: Optional[Any] = shared_memory.SharedMemory(create=True, size=size)
+        self.handle = ShmHandle(self._shm.name, size, tuple(specs))
+        self._spec_by_key = {spec.key: spec for spec in specs}
+        for key, arr in contiguous.items():
+            self._write(self._spec_by_key[key], arr)
+
+    def _write(self, spec: ShmArraySpec, arr: np.ndarray) -> None:
+        """Copy ``arr`` into its slot; the view is transient so close() stays safe."""
+        if self._shm is None:
+            raise RuntimeError("shared array store is closed")
+        view = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=self._shm.buf, offset=spec.offset
+        )
+        view[...] = arr
+        del view
+
+    def update(self, arrays: Mapping[str, np.ndarray]) -> None:
+        """Overwrite stored arrays in place (single-writer refresh path).
+
+        Keys must already exist with matching shape and dtype -- a shape
+        change is a *structure* change and requires a fresh store (and
+        fresh workers).
+        """
+        for key, arr in arrays.items():
+            spec = self._spec_by_key.get(key)
+            if spec is None:
+                raise KeyError(f"array {key!r} is not part of this store")
+            arr = np.ascontiguousarray(arr)
+            if tuple(arr.shape) != spec.shape or arr.dtype.str != spec.dtype:
+                raise ValueError(
+                    f"array {key!r} changed layout: {arr.dtype.str}{arr.shape} != "
+                    f"stored {spec.dtype}{spec.shape}"
+                )
+            self._write(spec, arr)
+
+    @property
+    def closed(self) -> bool:
+        """Whether the segment has been released by this process."""
+        return self._shm is None
+
+    def close(self) -> None:
+        """Release (and, in the owning process, unlink) the segment.
+
+        Idempotent and exception-free by design: it runs from ``atexit``
+        hooks, ``finally`` blocks and worker-crash cleanup, where a raising
+        teardown would mask the original error or spam interpreter
+        shutdown.  A forked child closes its mapping but never unlinks the
+        owner's segment.
+        """
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        try:
+            shm.close()
+        except Exception:
+            pass
+        if os.getpid() != self._owner_pid:
+            return
+        try:
+            shm.unlink()
+        except Exception:
+            pass
+
+    def __del__(self) -> None:
+        self.close()
+
+
+def attach_shared_arrays(handle: ShmHandle) -> Tuple[Any, Dict[str, np.ndarray]]:
+    """Attach a reader to a published segment; returns ``(shm, views)``.
+
+    The views are zero-copy and read-only (workers must never write shared
+    state); the returned ``SharedMemory`` object must be kept alive as long
+    as the views are used.  Readers close but never unlink.
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=handle.segment)
+    views: Dict[str, np.ndarray] = {}
+    for spec in handle.specs:
+        view = np.ndarray(
+            spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf, offset=spec.offset
+        )
+        view.flags.writeable = False
+        views[spec.key] = view
+    return shm, views
+
+
+_SHM_SUPPORTED: Optional[bool] = None
+
+
+def shared_memory_supported() -> bool:
+    """Whether this platform can create POSIX shared-memory segments.
+
+    Probed once per process with a 1-byte segment; a platform that cannot
+    (no ``/dev/shm``, sandboxed runtime) silently falls back to the plain
+    pickled-payload dispatch.
+    """
+    global _SHM_SUPPORTED
+    if _SHM_SUPPORTED is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(create=True, size=1)
+            probe.close()
+            probe.unlink()
+            _SHM_SUPPORTED = True
+        except Exception:
+            _SHM_SUPPORTED = False
+    return _SHM_SUPPORTED
+
+
+@dataclass(frozen=True)
+class ShmWorkerPayload:
+    """The O(1)-in-model-size worker payload: segment handles, not arrays.
+
+    Shipped once per worker through the pool initializer.  The worker
+    attaches the ``graph`` and ``params`` segments by name and rebuilds its
+    engine from zero-copy views; afterwards each task message carries only
+    a parameter *version* -- when it advances, the worker reloads weights
+    from the (in-place updated) parameter segment.
+    """
+
+    config: TGAEConfig
+    num_nodes: int
+    num_timestamps: int
+    feature_dim: int
+    graph: ShmHandle
+    params: ShmHandle
+    version: int
+
+
+def _shm_graph_arrays(engine: Any) -> Dict[str, np.ndarray]:
+    """The graph-side arrays a worker needs: edges, partner CSR, features."""
+    graph = engine.graph
+    offsets, partners = graph.out_partner_groups()
+    arrays = {
+        "src": graph.src,
+        "dst": graph.dst,
+        "t": graph.t,
+        "partner_offsets": offsets,
+        "partners": partners,
+    }
+    external = engine.model.encoder._external_features
+    if external is not None:
+        arrays["external_features"] = external
+    return arrays
+
+
+def _shm_param_arrays(engine: Any) -> Dict[str, np.ndarray]:
+    """Current model parameters in deterministic (sorted-name) order."""
+    return {name: param.data for name, param in sorted(engine.model.named_parameters())}
 
 
 def _engine_token(engine: Any, include_state: bool) -> str:
@@ -135,6 +381,15 @@ def _engine_token(engine: Any, include_state: bool) -> str:
         else:
             digest.update(str(param.data.shape).encode())
     return ("state:" if include_state else "structure:") + digest.hexdigest()
+
+
+def _state_token(engine: Any) -> str:
+    """Fingerprint of the weight values alone (structure hashed separately)."""
+    digest = hashlib.sha256()
+    for name, param in sorted(engine.model.named_parameters()):
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(param.data).tobytes())
+    return digest.hexdigest()
 
 
 def _build_engine(payload: WorkerPayload, graph: Optional[TemporalGraph] = None) -> Any:
@@ -174,12 +429,76 @@ def _build_engine(payload: WorkerPayload, graph: Optional[TemporalGraph] = None)
 
 #: Per-process engine rebuilt by :func:`_init_worker`; ``None`` in the parent.
 _WORKER_ENGINE: Optional[Any] = None
+#: Attached shared segments (kept alive for the views' lifetime) + param views.
+_WORKER_SHM: List[Any] = []
+_WORKER_PARAM_VIEWS: Optional[Dict[str, np.ndarray]] = None
+_WORKER_PARAM_VERSION: Optional[int] = None
 
 
 def _init_worker(payload: WorkerPayload) -> None:
     """Pool initializer: rebuild the engine once per worker process."""
     global _WORKER_ENGINE
     _WORKER_ENGINE = _build_engine(payload)
+
+
+def _release_worker_attachments() -> None:
+    """Worker ``atexit``: drop engine + views, then close shm mappings quietly."""
+    global _WORKER_ENGINE, _WORKER_PARAM_VIEWS
+    _WORKER_ENGINE = None
+    _WORKER_PARAM_VIEWS = None
+    import gc
+
+    gc.collect()
+    while _WORKER_SHM:
+        shm = _WORKER_SHM.pop()
+        try:
+            shm.close()
+        except Exception:
+            pass
+
+
+def _init_worker_shm(payload: ShmWorkerPayload) -> None:
+    """Pool initializer for shm dispatch: attach segments, rebuild the engine.
+
+    The graph's edge and partner-CSR arrays stay zero-copy views into the
+    shared segment for the worker's whole life; the model weights are
+    *copied* out of the parameter segment (``load_state_dict`` copies), so
+    the parent can overwrite that segment between runs without racing
+    in-flight forwards.
+    """
+    global _WORKER_ENGINE, _WORKER_PARAM_VIEWS, _WORKER_PARAM_VERSION
+    from .engine import GenerationEngine
+    from .model import TGAEModel
+
+    graph_shm, graph_views = attach_shared_arrays(payload.graph)
+    param_shm, param_views = attach_shared_arrays(payload.params)
+    if not _WORKER_SHM:
+        atexit.register(_release_worker_attachments)
+    _WORKER_SHM[:] = [graph_shm, param_shm]
+    graph = TemporalGraph(
+        payload.num_nodes,
+        graph_views["src"],
+        graph_views["dst"],
+        graph_views["t"],
+        num_timestamps=payload.num_timestamps,
+        validate=False,
+    )
+    # Hand the prebuilt partner CSR straight to the graph cache: workers
+    # never redo the O(E log E) group-by the parent already did.
+    graph._partner_groups = (
+        graph_views["partner_offsets"], graph_views["partners"]
+    )
+    model = TGAEModel(
+        payload.num_nodes, payload.num_timestamps, payload.config,
+        feature_dim=payload.feature_dim,
+    )
+    model.load_state_dict(dict(param_views))
+    if "external_features" in graph_views:
+        model.encoder.set_external_features(graph_views["external_features"])
+    model.eval()
+    _WORKER_ENGINE = GenerationEngine(model, graph, payload.config)
+    _WORKER_PARAM_VIEWS = param_views
+    _WORKER_PARAM_VERSION = payload.version
 
 
 def _run_on(engine: Any, kind: str, task: Any) -> Any:
@@ -202,6 +521,25 @@ def _run_remote(kind: str, task: Any) -> Any:
     return _run_on(_WORKER_ENGINE, kind, task)
 
 
+def _run_remote_shm(kind: str, version: int, task: Any) -> Any:
+    """Shm-dispatch trampoline: refresh weights from the segment when stale.
+
+    ``version`` advances whenever the parent rewrote the parameter segment;
+    a worker reloads at most once per version, so an epoch of S shards
+    costs one weight copy per worker, not per shard.
+    """
+    global _WORKER_PARAM_VERSION
+    engine = _WORKER_ENGINE
+    if engine is None:
+        raise RuntimeError("worker engine was not initialised")
+    if version != _WORKER_PARAM_VERSION:
+        if _WORKER_PARAM_VIEWS is None:
+            raise RuntimeError("worker has no attached parameter segment")
+        engine.model.load_state_dict(dict(_WORKER_PARAM_VIEWS))
+        _WORKER_PARAM_VERSION = version
+    return _run_on(engine, kind, task)
+
+
 def _prewarm_graph(graph: TemporalGraph) -> None:
     """Build the shared lazy graph caches before thread fan-out.
 
@@ -215,18 +553,22 @@ def _prewarm_graph(graph: TemporalGraph) -> None:
         graph._snapshot_order_bounds()
 
 
-def _make_train_replicas(engine: Any, count: int) -> "queue.SimpleQueue":
+def _build_train_replicas(engine: Any, count: int) -> List[Any]:
     """Per-thread model replicas for training shards.
 
     Backward passes accumulate into parameter gradients, so concurrent
     shards must not share one model.  Replicas share the live (read-only)
-    graph; each task checks a replica out, loads the task's weights, and
-    returns it.
+    graph; each run checks replicas out of a queue and returns them.
     """
     payload = payload_from_engine(engine)
+    return [_build_engine(payload, graph=engine.graph) for _ in range(count)]
+
+
+def _make_train_replicas(engine: Any, count: int) -> "queue.SimpleQueue":
+    """Replica queue for the one-shot thread path (see :func:`_run_threads`)."""
     replicas: "queue.SimpleQueue" = queue.SimpleQueue()
-    for _ in range(count):
-        replicas.put(_build_engine(payload, graph=engine.graph))
+    for replica in _build_train_replicas(engine, count):
+        replicas.put(replica)
     return replicas
 
 
@@ -271,17 +613,27 @@ def _run_processes(engine: Any, kind: str, tasks: Sequence[Any], workers: int) -
         return list(pool.map(partial(_run_remote, kind), tasks))
 
 
+def _pickled_bytes(obj: Any) -> int:
+    """Size of ``obj`` on the dispatch wire (for the benchmark gates)."""
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
 class WorkerPool:
     """A persistent, reusable worker pool for sharded chunk tasks.
 
     One pool amortises process startup and graph shipping over many
     ``run()`` calls: repeated ``generate()`` draws (significance tests),
     ``score_topk`` sweeps, and every epoch of a training run reuse the same
-    worker processes.  The pool re-ships its payload only when the
-    fingerprint of what workers need actually changes (a refitted model, a
-    different graph); for training shards -- whose weights ride inside each
-    task -- the fingerprint ignores weight values, so one pool survives a
-    whole optimisation run.
+    worker processes.  On the process backend the pool publishes the model
+    parameters and the graph's CSR arrays into shared-memory segments
+    (:class:`SharedArrayStore`, enabled by ``shm_dispatch=True`` where the
+    platform supports it): workers attach once, per-task messages carry
+    only index arrays + a parameter version, and weight changes (every
+    training epoch, every refit) are an in-place segment rewrite -- O(1)
+    dispatch in model size.  Without shm the pool re-ships a pickled
+    payload whenever the fingerprint of what workers need actually changes;
+    either way, for training shards -- whose fingerprint ignores weight
+    values -- one pool survives a whole optimisation run.
 
     Usage is either explicit::
 
@@ -294,13 +646,20 @@ class WorkerPool:
     backend degrades to threads (loudly, once) when the platform cannot run
     process pools (``backend`` then reports the effective backend,
     ``requested_backend`` the original); results are bit-identical either
-    way.  Concurrent ``run()`` calls from different threads serialise on the
+    way, and any shared segments are unlinked at the moment of degradation.
+    Concurrent ``run()`` calls from different threads serialise on the
     pool's internal lock.
     """
 
     _ids = itertools.count()
 
-    def __init__(self, workers: int, backend: str = "process") -> None:
+    def __init__(
+        self,
+        workers: int,
+        backend: str = "process",
+        shm_dispatch: bool = True,
+        track_dispatch: bool = False,
+    ) -> None:
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         if backend not in BACKENDS:
@@ -310,14 +669,29 @@ class WorkerPool:
         self.workers = workers
         self.backend = backend
         self.requested_backend = backend
+        self.shm_dispatch = bool(shm_dispatch)
+        self.track_dispatch = bool(track_dispatch)
         self.pool_id = f"workerpool-{next(WorkerPool._ids)}"
         self.runs = 0
         self.closed = False
+        #: Dispatch accounting (populated when ``track_dispatch=True``):
+        #: pickled bytes of task messages / one-time payloads, and counts of
+        #: payload publishes and in-place parameter updates.
+        self.dispatch_stats: Dict[str, int] = {
+            "task_bytes": 0,
+            "payload_bytes": 0,
+            "payload_publishes": 0,
+            "param_updates": 0,
+        }
+        self._owner_pid = os.getpid()
         self._executor: Optional[ProcessPoolExecutor] = None
         self._token: Optional[str] = None
         self._thread_executor: Optional[ThreadPoolExecutor] = None
-        self._replicas: Optional["queue.SimpleQueue"] = None
+        self._replicas: Optional[List[Any]] = None
         self._replica_token: Optional[str] = None
+        self._stores: Dict[str, SharedArrayStore] = {}
+        self._param_version = 0
+        self._param_token: Optional[str] = None
         #: (weakref-to-engine, token) cache: the structure token is constant
         #: for an engine's lifetime, so a whole training run hashes the
         #: graph arrays once instead of once per epoch.
@@ -325,24 +699,82 @@ class WorkerPool:
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
-    def run(self, engine: Any, kind: str, tasks: Sequence[Any]) -> List[Any]:
-        """Run chunk ``tasks`` against ``engine``; results in task order."""
+    @property
+    def shm_active(self) -> bool:
+        """Whether dispatch currently goes through shared-memory segments."""
+        return (
+            self.shm_dispatch
+            and self.backend == "process"
+            and shared_memory_supported()
+        )
+
+    @property
+    def needs_inline_state(self) -> bool:
+        """Whether training tasks must carry the weights inline.
+
+        ``False`` on the thread backend (replicas are refreshed from the
+        live model) and under shm dispatch (weights ride the shared
+        parameter segment); ``True`` only for the plain process backend,
+        where each task message must ship the current ``state_dict``.
+        """
+        if self.backend == "thread":
+            return False
+        return not self.shm_active
+
+    def shm_segments(self) -> Tuple[str, ...]:
+        """Names of the currently published shared segments (tests/debug)."""
+        return tuple(
+            store.handle.segment
+            for store in self._stores.values()
+            if not store.closed
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        engine: Any,
+        kind: str,
+        tasks: Sequence[Any],
+        collector: Optional[Any] = None,
+    ) -> Optional[List[Any]]:
+        """Run chunk ``tasks`` against ``engine``; results in task order.
+
+        Without ``collector`` the results come back as a list.  With a
+        ``collector`` (an object with ``add(result)`` and ``reset()``),
+        results are *streamed* into it in task order as workers finish --
+        the consumer's merge work overlaps the remaining shards' compute.
+        If the process backend fails mid-stream, the collector is reset and
+        every task re-runs on the thread backend, so partially-consumed
+        results can never be double-counted (re-running is safe: each
+        task's draws come from its own seed-sequence child).
+        """
         if self.closed:
             raise RuntimeError(f"{self.pool_id} has been shut down")
         tasks = list(tasks)
         self.runs += 1
         if not tasks:
-            return []
+            return [] if collector is None else None
+        if self.track_dispatch:
+            self.dispatch_stats["task_bytes"] += sum(
+                _pickled_bytes(task) for task in tasks
+            )
         if self.workers == 1 or len(tasks) == 1:
-            return [_run_on(engine, kind, task) for task in tasks]
+            if collector is None:
+                return [_run_on(engine, kind, task) for task in tasks]
+            for task in tasks:
+                collector.add(_run_on(engine, kind, task))
+            return None
         if self.backend == "thread":
-            return self._run_on_threads(engine, kind, tasks)
+            return self._run_on_threads(engine, kind, tasks, collector)
         try:
-            return self._run_on_processes(engine, kind, tasks)
+            return self._run_on_processes(engine, kind, tasks, collector)
         except _POOL_FAILURES as exc:
             # Same loud degradation as the one-shot path -- but permanent,
             # so a persistent pool does not retry a broken process backend
-            # on every call.
+            # on every call.  Shared segments are unlinked here: the thread
+            # backend reads the live engine directly.
+            if collector is not None:
+                collector.reset()
             warnings.warn(
                 f"{self.pool_id}: process backend failed "
                 f"({type(exc).__name__}: {exc}); switching to the thread "
@@ -351,10 +783,21 @@ class WorkerPool:
                 stacklevel=2,
             )
             self._shutdown_process_executor()
+            with self._lock:
+                self._release_stores_locked()
             self.backend = "thread"
-            return self._run_on_threads(engine, kind, tasks)
+            return self._run_on_threads(engine, kind, tasks, collector)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _consume(iterator: Any, collector: Optional[Any]) -> Optional[List[Any]]:
+        """Drain a result iterator into a list or stream it into a collector."""
+        if collector is None:
+            return list(iterator)
+        for result in iterator:
+            collector.add(result)
+        return None
+
     def _token_for(self, engine: Any, kind: str) -> str:
         """The staleness token for ``engine``, with the structure flavour cached."""
         include_state = kind != "train"
@@ -367,24 +810,108 @@ class WorkerPool:
             self._structure_cache = (weakref.ref(engine), token)
         return token
 
-    def _run_on_processes(self, engine: Any, kind: str, tasks: List[Any]) -> List[Any]:
+    def _run_on_processes(
+        self, engine: Any, kind: str, tasks: List[Any], collector: Optional[Any] = None
+    ) -> Optional[List[Any]]:
         # The whole dispatch holds the lock so a concurrent run() with a
         # different payload token cannot swap the executor out from under
         # this one's map -- concurrent callers serialise instead.
         with self._lock:
+            if self.shm_active:
+                return self._dispatch_shm_locked(engine, kind, tasks, collector)
             token = self._token_for(engine, kind)
             if self._executor is None or token != self._token:
                 self._shutdown_process_executor_locked()
+                payload = payload_from_engine(engine)
+                if self.track_dispatch:
+                    self.dispatch_stats["payload_bytes"] += _pickled_bytes(payload)
+                    self.dispatch_stats["payload_publishes"] += 1
                 self._executor = ProcessPoolExecutor(
                     max_workers=self.workers,
                     mp_context=_process_context(),
                     initializer=_init_worker,
-                    initargs=(payload_from_engine(engine),),
+                    initargs=(payload,),
                 )
                 self._token = token
-            return list(self._executor.map(partial(_run_remote, kind), tasks))
+            return self._consume(
+                self._executor.map(partial(_run_remote, kind), tasks), collector
+            )
 
-    def _run_on_threads(self, engine: Any, kind: str, tasks: List[Any]) -> List[Any]:
+    def _dispatch_shm_locked(
+        self, engine: Any, kind: str, tasks: List[Any], collector: Optional[Any]
+    ) -> Optional[List[Any]]:
+        """Dispatch through shared segments; caller holds ``self._lock``.
+
+        The *structure* token (graph + config + parameter shapes) gates the
+        expensive path -- executor rebuild and segment republish; a pure
+        weight change is an in-place parameter-segment rewrite plus a
+        version bump that rides inside the per-task trampoline arguments.
+        Training always rewrites (weights change every step); generation
+        rewrites only when the weight fingerprint actually moved.
+        """
+        structure = self._token_for(engine, kind="train")
+        if self._executor is None or structure != self._token:
+            self._shutdown_process_executor_locked()
+            self._release_stores_locked()
+            payload = self._publish_engine_locked(engine)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=_process_context(),
+                initializer=_init_worker_shm,
+                initargs=(payload,),
+            )
+            self._token = structure
+            self._param_token = None if kind == "train" else _state_token(engine)
+        elif kind == "train":
+            self._update_params_locked(engine)
+            self._param_token = None
+        else:
+            state = _state_token(engine)
+            if state != self._param_token:
+                self._update_params_locked(engine)
+                self._param_token = state
+        return self._consume(
+            self._executor.map(
+                partial(_run_remote_shm, kind, self._param_version), tasks
+            ),
+            collector,
+        )
+
+    def _publish_engine_locked(self, engine: Any) -> ShmWorkerPayload:
+        """Create fresh graph/parameter segments and the handle payload."""
+        graph_store = SharedArrayStore(_shm_graph_arrays(engine))
+        try:
+            param_store = SharedArrayStore(_shm_param_arrays(engine))
+        except Exception:
+            graph_store.close()
+            raise
+        self._stores = {"graph": graph_store, "params": param_store}
+        self._param_version += 1
+        external = engine.model.encoder._external_features
+        payload = ShmWorkerPayload(
+            config=engine.config,
+            num_nodes=engine.graph.num_nodes,
+            num_timestamps=engine.graph.num_timestamps,
+            feature_dim=external.shape[-1] if external is not None else 0,
+            graph=graph_store.handle,
+            params=param_store.handle,
+            version=self._param_version,
+        )
+        if self.track_dispatch:
+            self.dispatch_stats["payload_bytes"] += _pickled_bytes(payload)
+            self.dispatch_stats["payload_publishes"] += 1
+        return payload
+
+    def _update_params_locked(self, engine: Any) -> None:
+        """Rewrite the parameter segment in place and advance the version."""
+        self._stores["params"].update(_shm_param_arrays(engine))
+        self._param_version += 1
+        if self.track_dispatch:
+            self.dispatch_stats["param_updates"] += 1
+
+    def _run_on_threads(
+        self, engine: Any, kind: str, tasks: List[Any], collector: Optional[Any] = None
+    ) -> Optional[List[Any]]:
         _prewarm_graph(engine.graph)
         with self._lock:
             if self._thread_executor is None:
@@ -394,13 +921,25 @@ class WorkerPool:
                 )
             executor = self._thread_executor
         if kind != "train":
-            return list(executor.map(lambda task: _run_on(engine, kind, task), tasks))
+            return self._consume(
+                executor.map(lambda task: _run_on(engine, kind, task), tasks),
+                collector,
+            )
         with self._lock:
             token = self._token_for(engine, kind)
             if self._replicas is None or token != self._replica_token:
-                self._replicas = _make_train_replicas(engine, self.workers)
+                self._replicas = _build_train_replicas(engine, self.workers)
                 self._replica_token = token
-            replicas = self._replicas
+            elif getattr(tasks[0], "state", None) is None:
+                # Tasks without inline weights expect workers to hold the
+                # *current* weights: refresh cached replicas from the live
+                # model (an exact copy, so the run stays bit-identical).
+                state = engine.model.state_dict()
+                for replica in self._replicas:
+                    replica.model.load_state_dict(state)
+            replicas: "queue.SimpleQueue" = queue.SimpleQueue()
+            for replica in self._replicas:
+                replicas.put(replica)
 
         def run(task: Any) -> Any:
             replica = replicas.get()
@@ -409,9 +948,16 @@ class WorkerPool:
             finally:
                 replicas.put(replica)
 
-        return list(executor.map(run, tasks))
+        return self._consume(executor.map(run, tasks), collector)
 
     # ------------------------------------------------------------------
+    def _release_stores_locked(self) -> None:
+        """Unlink every published segment; caller must hold ``self._lock``."""
+        for store in self._stores.values():
+            store.close()
+        self._stores = {}
+        self._param_token = None
+
     def _shutdown_process_executor_locked(self) -> None:
         """Drop the process executor; caller must hold ``self._lock``."""
         if self._executor is not None:
@@ -424,18 +970,37 @@ class WorkerPool:
             self._shutdown_process_executor_locked()
 
     def close(self) -> None:
-        """Shut down every executor and replica; the pool becomes unusable."""
+        """Shut down every executor, replica and shared segment.
+
+        Idempotent, safe from ``atexit`` and from forked children (a child
+        never tears down its parent's executors or unlinks the parent's
+        segments), and exception-free so interpreter-shutdown ordering can
+        never turn cleanup into a crash.  The pool becomes unusable.
+        """
         if self.closed:
             return
         self.closed = True
-        with self._lock:
-            self._shutdown_process_executor_locked()
-            if self._thread_executor is not None:
-                self._thread_executor.shutdown(wait=True)
-                self._thread_executor = None
-            self._replicas = None
-            self._replica_token = None
-            self._structure_cache = None
+        if os.getpid() != self._owner_pid:
+            # Forked child (e.g. inherited atexit hook): the executors and
+            # segments belong to the parent; touching them here would rip
+            # shared state out from under a live process.
+            return
+        try:
+            with self._lock:
+                self._shutdown_process_executor_locked()
+                if self._thread_executor is not None:
+                    self._thread_executor.shutdown(wait=True)
+                    self._thread_executor = None
+                self._release_stores_locked()
+                self._replicas = None
+                self._replica_token = None
+                self._structure_cache = None
+        except Exception:
+            # Interpreter shutdown can break executor internals mid-close;
+            # still make sure the shared segments are gone.
+            for store in list(self._stores.values()):
+                store.close()
+            self._stores = {}
 
     # Context-manager protocol: ``with WorkerPool(4) as pool: ...``
     def __enter__(self) -> "WorkerPool":
@@ -446,9 +1011,10 @@ class WorkerPool:
 
     def __repr__(self) -> str:
         state = "closed" if self.closed else "open"
+        shm = "shm" if self.shm_active else "pickle"
         return (
             f"WorkerPool(id={self.pool_id}, workers={self.workers}, "
-            f"backend={self.backend!r}, runs={self.runs}, {state})"
+            f"backend={self.backend!r}, dispatch={shm}, runs={self.runs}, {state})"
         )
 
 
@@ -477,7 +1043,10 @@ def close_shared_pools() -> None:
     """Shut down every module-level singleton pool (idempotent)."""
     with _SHARED_LOCK:
         for pool in _SHARED_POOLS.values():
-            pool.close()
+            try:
+                pool.close()
+            except Exception:
+                pass
         _SHARED_POOLS.clear()
 
 
@@ -497,12 +1066,12 @@ def run_sharded(
     ``workers=1`` (or a single task) short-circuits to a plain loop over
     the live engine -- no pool, no payload copy, today's sequential path.
     When ``pool`` is given (and open), dispatch goes through that
-    persistent :class:`WorkerPool` -- its worker count and backend govern
-    -- instead of building a throwaway executor.  The process backend
-    degrades to threads when the platform cannot build a process pool
-    (missing semaphores, unpicklable payload); the result is bit-identical
-    either way because every task carries its own spawned seed-sequence
-    child.
+    persistent :class:`WorkerPool` -- its worker count, backend and
+    shared-memory dispatch mode govern -- instead of building a throwaway
+    executor.  The process backend degrades to threads when the platform
+    cannot build a process pool (missing semaphores, unpicklable payload);
+    the result is bit-identical either way because every task carries its
+    own spawned seed-sequence child.
     """
     if backend not in BACKENDS:
         raise ConfigError(

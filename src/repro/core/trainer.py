@@ -36,7 +36,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..graph.ego_graph import sample_initial_nodes
 from ..graph.temporal_graph import TemporalGraph
-from ..optim import Adam, clip_grad_norm, load_gradients, merge_gradient_shards
+from ..optim import Adam, clip_grad_norm, load_gradients
 from ..rng import seed_sequence, spawn_streams
 from .config import TGAEConfig
 from .loss import adjacency_target_rows, tgae_shard_loss
@@ -64,6 +64,7 @@ class TrainingHistory:
 
     @property
     def final_loss(self) -> Optional[float]:
+        """Loss of the last completed epoch (``None`` before any epoch)."""
         return self.losses[-1] if self.losses else None
 
     @property
@@ -85,9 +86,12 @@ class TrainShardTask:
     a spawned seed-sequence child, never live graph or model objects.  The
     global loss normalisers (``recon_scale = 1/active_total``,
     ``kl_scale = 1/batch_rows``) ride along so shard losses and gradients
-    are additive; ``state`` carries the current weights when the shard runs
-    on a pool worker (``None`` on the in-process sequential path, where the
-    live model already has them).
+    are additive; ``state`` carries the current weights only when the pool
+    reports :attr:`~repro.core.parallel.WorkerPool.needs_inline_state`
+    (plain pickled process dispatch).  It stays ``None`` on the in-process
+    sequential path (the live model already has the weights), on the thread
+    backend (replicas are refreshed from the live model) and under
+    shared-memory dispatch (workers reload from the parameter segment).
     """
 
     index: int
@@ -115,8 +119,10 @@ def run_train_shard(engine, task: TrainShardTask) -> TrainShardResult:
     in a worker process against a rebuilt engine -- identically in all
     three: ego sampling, candidate negatives and reparameterisation noise
     all come from the task's spawned seed-sequence child, and the weights
-    are either the live model's (sequential) or the bit-equal copy shipped
-    in ``task.state``.
+    are either the live model's (sequential), the bit-equal copy shipped in
+    ``task.state``, or -- under shared-memory dispatch, where ``state`` is
+    ``None`` -- the bit-equal copy the worker loaded from the version-stamped
+    parameter segment.
     """
     model: TGAEModel = engine.model
     config: TGAEConfig = engine.config
@@ -146,6 +152,39 @@ def run_train_shard(engine, task: TrainShardTask) -> TrainShardResult:
         if param.grad is not None
     }
     return TrainShardResult(index=task.index, loss=loss.item(), grads=grads)
+
+
+class _EpochShardCollector:
+    """Streams shard results into the merged gradient as they arrive.
+
+    Fed by :meth:`WorkerPool.run` in *shard order* (the pool consumes its
+    executor map lazily, which yields results in task-submission order), so
+    while worker K computes shard K the parent is already summing shard
+    K-1's gradients -- the merge overlaps shard compute instead of waiting
+    for the full result list.  The accumulation is bit-identical to
+    ``merge_gradient_shards`` over the complete list: first occurrence of a
+    parameter copies, later occurrences add left-to-right, and the loss sum
+    runs in the same order as ``sum(result.loss for result in results)``.
+    """
+
+    __slots__ = ("loss", "grads")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop everything accumulated so far (pool degrade re-runs all shards)."""
+        self.loss: float = 0.0
+        self.grads: Dict[str, np.ndarray] = {}
+
+    def add(self, result: TrainShardResult) -> None:
+        """Fold one shard's loss and gradients into the running totals."""
+        self.loss += result.loss
+        for name, grad in result.grads.items():
+            if name in self.grads:
+                self.grads[name] = self.grads[name] + grad
+            else:
+                self.grads[name] = grad.copy()
 
 
 def _resolve_shard_size(config: TGAEConfig) -> int:
@@ -222,7 +261,7 @@ def train_tgae(
     engine = GenerationEngine(model, graph, config)
     own_pool = pool is None and workers > 1
     if own_pool:
-        pool = WorkerPool(workers, backend)
+        pool = WorkerPool(workers, backend, shm_dispatch=config.shm_dispatch)
     started_tracing = False
     if track_memory and not tracemalloc.is_tracing():
         tracemalloc.start()
@@ -254,7 +293,12 @@ def train_tgae(
                 and pool.workers > 1
                 and len(starts) > 1
             )
-            state = model.state_dict() if pooled else None
+            # Weights ride inline in the task messages only when the pool
+            # has no cheaper channel: under shared-memory dispatch they live
+            # in the parameter segment, and thread-backend replicas are
+            # refreshed from the live model.
+            inline_state = pooled and pool.needs_inline_state
+            state = model.state_dict() if inline_state else None
             tasks = [
                 TrainShardTask(
                     index=i,
@@ -267,16 +311,17 @@ def train_tgae(
                 )
                 for i, start in enumerate(starts)
             ]
+            # Deterministic merge, overlapped with compute: the collector
+            # receives results in shard order as workers finish, so the
+            # gradient sum for shard K-1 happens while shard K still runs.
+            collector = _EpochShardCollector()
             if pooled:
-                results = pool.run(engine, "train", tasks)
+                pool.run(engine, "train", tasks, collector=collector)
             else:
-                results = [run_train_shard(engine, task) for task in tasks]
-            # Deterministic merge: shard order, never completion order.
-            load_gradients(
-                model.named_parameters(),
-                merge_gradient_shards([result.grads for result in results]),
-            )
-            loss_value = float(sum(result.loss for result in results))
+                for task in tasks:
+                    collector.add(run_train_shard(engine, task))
+            load_gradients(model.named_parameters(), collector.grads)
+            loss_value = float(collector.loss)
             grad_norm = clip_grad_norm(model.parameters(), config.grad_clip)
             optimizer.step()
             history.losses.append(loss_value)

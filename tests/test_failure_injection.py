@@ -137,6 +137,74 @@ class TestLifecycleErrors:
             generator.generate(seed=0)
 
 
+class TestWorkerCrashRecovery:
+    """A dying process backend degrades loudly and leaks no shared memory."""
+
+    @staticmethod
+    def _attachable(segment_name):
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=segment_name)
+        except FileNotFoundError:
+            return False
+        shm.close()
+        return True
+
+    def test_worker_crash_degrades_and_unlinks_segments(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.core import TGAEModel, WorkerPool, train_tgae
+        from repro.core.parallel import shared_memory_supported
+        from repro.datasets import communication_network
+
+        if not shared_memory_supported():
+            pytest.skip("platform has no POSIX shared memory")
+        observed = communication_network(25, 160, 5, seed=11)
+        config = fast_config(
+            epochs=1, num_initial_nodes=16, candidate_limit=8,
+            train_shard_size=4, seed=3,
+        )
+
+        def train(pool=None, workers=1):
+            model = TGAEModel(observed.num_nodes, observed.num_timestamps, config)
+            history = train_tgae(
+                model, observed, config, workers=workers, pool=pool
+            )
+            return history.losses, model.state_dict()
+
+        pool = WorkerPool(2, backend="process", shm_dispatch=True)
+        try:
+            train(pool=pool, workers=2)
+            segments = pool.shm_segments()
+            assert segments
+
+            class CrashedExecutor:
+                """Stands in for an executor whose workers were OOM-killed."""
+
+                def map(self, *args, **kwargs):
+                    raise BrokenProcessPool("worker died unexpectedly")
+
+                def shutdown(self, wait=True):
+                    pass
+
+            pool._executor = CrashedExecutor()
+            with pytest.warns(RuntimeWarning, match="thread"):
+                crashed_losses, crashed_state = train(pool=pool, workers=2)
+            # Loud degrade, dead segments, and a still-correct trajectory.
+            assert pool.backend == "thread"
+            assert pool.requested_backend == "process"
+            assert pool.shm_segments() == ()
+            for name in segments:
+                assert not self._attachable(name)
+            baseline_losses, baseline_state = train()
+            assert crashed_losses == baseline_losses
+            for name in baseline_state:
+                assert np.array_equal(baseline_state[name], crashed_state[name])
+        finally:
+            pool.close()
+
+
 class TestMetricShapeErrors:
     def test_mmd_distribution_shape_mismatch(self):
         with pytest.raises(ShapeError):

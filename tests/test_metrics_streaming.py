@@ -1,0 +1,117 @@
+"""Streaming evaluation: bit-equal to the dense path, O(E) by construction.
+
+``streaming_evaluate`` must be a drop-in for ``compare_graphs``: same
+statistic values on the same snapshot edge sets reduced in the same order,
+hence *exactly* equal scores -- not approximately equal.  The iterator twin
+of ``cumulative_snapshots`` must yield identical snapshots one at a time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import communication_network
+from repro.errors import GraphFormatError
+from repro.graph import TemporalGraph, cumulative_snapshots
+from repro.metrics import (
+    STATISTIC_FUNCTIONS,
+    compare_graphs,
+    iter_cumulative_snapshots,
+    streaming_evaluate,
+)
+from repro.metrics.temporal import compare_temporal_signatures
+
+
+@pytest.fixture(scope="module")
+def pair():
+    observed = communication_network(40, 300, 6, seed=5)
+    generated = communication_network(40, 300, 6, seed=9)
+    return observed, generated
+
+
+class TestIterCumulativeSnapshots:
+    def test_yields_same_snapshots_as_dense_builder(self, pair):
+        graph, _ = pair
+        dense = cumulative_snapshots(graph)
+        lazy = list(iter_cumulative_snapshots(graph))
+        assert len(dense) == len(lazy)
+        for a, b in zip(dense, lazy):
+            assert a.num_nodes == b.num_nodes
+            assert np.array_equal(a.src, b.src)
+            assert np.array_equal(a.dst, b.dst)
+
+    def test_handles_empty_graph(self):
+        graph = TemporalGraph(4, [], [], [], num_timestamps=3)
+        snaps = list(iter_cumulative_snapshots(graph))
+        assert len(snaps) == 3
+        assert all(s.num_edges == 0 for s in snaps)
+
+    def test_is_lazy(self, pair):
+        graph, _ = pair
+        iterator = iter_cumulative_snapshots(graph)
+        first = next(iterator)
+        assert first.num_edges <= graph.num_edges
+
+
+class TestStreamingEvaluateParity:
+    """The headline contract: scores exactly equal compare_graphs."""
+
+    @pytest.mark.parametrize("reduction", ["mean", "median"])
+    def test_exact_equality_all_statistics(self, pair, reduction):
+        observed, generated = pair
+        dense = compare_graphs(observed, generated, reduction=reduction)
+        streamed = streaming_evaluate(observed, generated, reduction=reduction)
+        assert dense == streamed  # bitwise: same floats, same keys
+
+    def test_exact_equality_on_statistic_subset(self, pair):
+        observed, generated = pair
+        names = ["mean_degree", "triangle_count"]
+        dense = compare_graphs(observed, generated, statistics=names)
+        streamed = streaming_evaluate(observed, generated, statistics=names)
+        assert dense == streamed
+        assert set(streamed) == set(names)
+
+    def test_identical_graphs_score_zero(self, pair):
+        observed, _ = pair
+        scores = streaming_evaluate(observed, observed)
+        assert set(scores) == set(STATISTIC_FUNCTIONS)
+        assert all(value == 0.0 for value in scores.values())
+
+    def test_second_seed_pair(self):
+        observed = communication_network(30, 200, 4, seed=1)
+        generated = communication_network(30, 200, 4, seed=2)
+        assert compare_graphs(observed, generated) == streaming_evaluate(
+            observed, generated
+        )
+
+    def test_include_temporal_merges_signature_deltas(self, pair):
+        observed, generated = pair
+        scores = streaming_evaluate(observed, generated, include_temporal=True)
+        structural = {k: v for k, v in scores.items() if not k.startswith("temporal:")}
+        assert structural == compare_graphs(observed, generated)
+        deltas = compare_temporal_signatures(observed, generated)
+        for name, value in deltas.items():
+            assert scores[f"temporal:{name}"] == value
+
+
+class TestStreamingEvaluateGuards:
+    def test_rejects_unknown_statistic(self, pair):
+        observed, generated = pair
+        with pytest.raises(KeyError, match="nope"):
+            streaming_evaluate(observed, generated, statistics=["nope"])
+
+    def test_rejects_bad_reduction(self, pair):
+        observed, generated = pair
+        with pytest.raises(ValueError, match="reduction"):
+            streaming_evaluate(observed, generated, reduction="max")
+
+    def test_rejects_timestamp_mismatch(self):
+        a = TemporalGraph(3, [0], [1], [0], num_timestamps=2)
+        b = TemporalGraph(3, [0], [1], [0], num_timestamps=5)
+        with pytest.raises(GraphFormatError):
+            streaming_evaluate(a, b)
+
+    def test_empty_graphs_score_zero(self):
+        a = TemporalGraph(4, [], [], [], num_timestamps=3)
+        b = TemporalGraph(4, [], [], [], num_timestamps=3)
+        scores = streaming_evaluate(a, b)
+        assert all(value == 0.0 for value in scores.values())
