@@ -1,0 +1,68 @@
+"""No-float64 smoke for the float32 production dtype policy.
+
+The acceptance gate of the end-to-end dtype pass: under
+``TGAEConfig(dtype="float32")`` the whole fit -> generate -> score path must
+run without ever materialising a float64 :class:`~repro.autograd.Tensor`.
+One silent upcast anywhere (a bare ``np.array`` constant, a loss buffer, an
+un-cast feature matrix) poisons every downstream tensor back to float64 and
+quietly erases the raw-speed win, so the assertion is recorded at the point
+of Tensor *creation* via :func:`repro.autograd.dtype_audit` rather than
+inspected after the fact.
+
+Two layers are exempt by design and therefore invisible to the audit:
+
+* :class:`~repro.nn.module.Parameter` construction -- parameters initialise
+  at float64 so RNG draws are policy-independent, then cast once via
+  ``Module.to_dtype``; the post-cast dtype is asserted here directly.
+* The engine's plain-``ndarray`` sampling scratch -- probability vectors are
+  deliberately accumulated at float64 (never through a Tensor) so the
+  integer sampling streams stay policy-independent.
+
+Runs in the CI bench job alongside the peak-memory smoke, on the same
+``n = 5000`` graph so the audit covers production-scale code paths.
+"""
+
+import numpy as np
+
+from repro.autograd import dtype_audit
+from repro.core import TGAEGenerator, fast_config
+from repro.datasets.synthetic import erdos_renyi_temporal
+
+NUM_NODES = 5000
+NUM_EDGES = 8000
+NUM_TIMESTAMPS = 3
+
+
+def bench_no_float64_on_float32_path():
+    observed = erdos_renyi_temporal(NUM_NODES, NUM_EDGES, NUM_TIMESTAMPS, seed=3)
+    config = fast_config(
+        epochs=2,
+        num_initial_nodes=64,
+        candidate_limit=16,
+        neighbor_threshold=5,
+        dtype="float32",
+    )
+    with dtype_audit() as seen:
+        generator = TGAEGenerator(config).fit(observed)
+        generated = generator.generate(seed=0)
+        scores = generator.score_topk(k=5)
+
+    print(
+        f"\ndtype smoke @ n={NUM_NODES}, policy=float32: "
+        f"tensor dtypes seen on fit+generate+score: "
+        f"{sorted(str(d) for d in seen)}"
+    )
+    assert generated.num_edges == observed.num_edges
+    assert scores
+    assert np.dtype(np.float32) in seen, (
+        "audit saw no float32 tensors -- the compute path is not exercising "
+        "the production policy at all"
+    )
+    assert np.dtype(np.float64) not in seen, (
+        "a float64 Tensor was created on the float32 production path -- a "
+        "silent upcast is poisoning the compute graph"
+    )
+    for name, param in generator.model.named_parameters():
+        assert param.data.dtype == np.float32, (
+            f"parameter {name!r} escaped the policy cast: {param.data.dtype}"
+        )

@@ -17,8 +17,17 @@ gap, and records the numbers into ``BENCH_training.json``:
   ``REPRO_BENCH_REQUIRE_SPEEDUP=1`` to force it).
 * ``bench_training_parallel_smoke`` -- the CI gate: workers=2 with
   checkpointing on, bit-identical to the sequential plain-memory run.
+* ``bench_dtype_tokens_per_sec`` -- the raw-speed kernel gate: training
+  throughput (centre temporal nodes per second, "tokens/sec") under the
+  ``float32`` production policy must be at least
+  :data:`DTYPE_SPEEDUP_FLOOR` times the ``float64`` golden path measured in
+  the same process, and the float32 shm parameter segment must be ~half the
+  float64 one.  Both are recorded into ``BENCH_training.json`` as the
+  tokens/sec trajectory (see docs/BENCHMARKS.md for the schema and the
+  re-baselining rule).
 """
 
+import dataclasses
 import os
 import time
 
@@ -26,6 +35,7 @@ import numpy as np
 
 from _artifacts import write_bench_artifact
 from repro.core import TGAEModel, fast_config, train_tgae
+from repro.core.parallel import SharedArrayStore, shared_memory_supported
 from repro.datasets import communication_network
 
 #: Checkpointing must cut peak traced training memory by at least this much.
@@ -33,6 +43,28 @@ MEMORY_CUT_FLOOR = 0.40
 
 PARALLEL_WORKERS = 4
 SPEEDUP_FLOOR = 1.3
+
+#: Last recorded float32/float64 tokens-per-second ratio at the bench config
+#: (the trajectory point this PR lands; absolute tok/s is machine-dependent,
+#: the ratio is not, so the ratio is what carries the baseline).
+RECORDED_DTYPE_SPEEDUP = 1.55
+
+#: float32 + fused attention must beat the float64 golden path by at least
+#: this factor in tokens/sec (same process, interleaved best-of-N timing).
+#: This is :data:`RECORDED_DTYPE_SPEEDUP` minus the regression budget,
+#: clamped at the 1.3x acceptance minimum of the raw-speed kernel pass.
+DTYPE_SPEEDUP_FLOOR = 1.3
+
+#: The float32 parameter segment must stay within this fraction of the
+#: float64 one (payload is exactly half; 64-byte alignment padding allows a
+#: little slack).
+SHM_HALVING_CEILING = 0.6
+
+#: Timing repetitions per dtype.  Repeats of the two policies are
+#: interleaved (f64, f32, f64, f32, ...) so drifting background load hits
+#: both equally, and the minimum per policy is reported -- timing noise only
+#: ever adds wall-clock, so min-of-N is the least biased estimator.
+_TIMING_REPEATS = 4
 
 
 def _available_cores() -> int:
@@ -173,6 +205,110 @@ def bench_training_parallel_speedup():
             "cores": cores,
             "floor_enforced": enforced,
             "bit_identical": True,
+        },
+    )
+
+
+def _timed_dtype_runs(observed, configs):
+    """Interleaved best-of-N wall-clock per config (one untimed warmup each)."""
+    for config in configs.values():
+        _train(observed, config)  # warm allocator, BLAS threads, code paths
+    seconds = {name: [] for name in configs}
+    for _ in range(_TIMING_REPEATS):
+        for name, config in configs.items():
+            start = time.perf_counter()
+            _train(observed, config)
+            seconds[name].append(time.perf_counter() - start)
+    return seconds
+
+
+def _param_segment_bytes(observed, config):
+    """Shm segment size (bytes) of the model's parameter block under ``config``."""
+    model = TGAEModel(observed.num_nodes, observed.num_timestamps, config)
+    store = SharedArrayStore(model.state_dict())
+    try:
+        return int(store.handle.nbytes)
+    finally:
+        store.close()
+
+
+def bench_dtype_tokens_per_sec():
+    """float32 production policy: >= 1.3x tokens/sec and ~half the shm params."""
+    observed = communication_network(600, 6000, 5, seed=3)
+    base = fast_config(
+        epochs=4,
+        num_initial_nodes=64,
+        neighbor_threshold=32,
+        candidate_limit=32,
+        num_heads=4,
+        hidden_dim=128,
+        time_dim=16,
+        embed_dim=96,
+        train_shard_size=64,
+        seed=9,
+    )
+    # One centre temporal node consumed per training step: epochs * batch.
+    tokens = base.epochs * base.num_initial_nodes
+    configs = {
+        dtype: dataclasses.replace(base, dtype=dtype)
+        for dtype in ("float64", "float32")
+    }
+    timings = _timed_dtype_runs(observed, configs)
+    results = {
+        dtype: {
+            "seconds": [round(s, 4) for s in seconds],
+            "best_seconds": round(min(seconds), 4),
+            "tokens_per_sec": [round(tokens / s, 2) for s in seconds],
+            "best_tokens_per_sec": round(tokens / min(seconds), 2),
+        }
+        for dtype, seconds in timings.items()
+    }
+    speedup = results["float64"]["best_seconds"] / results["float32"]["best_seconds"]
+    shm = {}
+    if shared_memory_supported():
+        for dtype in ("float64", "float32"):
+            shm[dtype] = _param_segment_bytes(
+                observed, dataclasses.replace(base, dtype=dtype)
+            )
+    shm_ratio = shm["float32"] / shm["float64"] if shm else None
+    print(
+        f"\n=== dtype tokens/sec @ n={observed.num_nodes}, "
+        f"{base.epochs} epochs x batch={base.num_initial_nodes} "
+        f"({tokens} tokens) ===\n"
+        f"float64: {results['float64']['best_tokens_per_sec']:7.1f} tok/s   "
+        f"float32: {results['float32']['best_tokens_per_sec']:7.1f} tok/s   "
+        f"speedup: {speedup:.2f}x\n"
+        + (
+            f"shm params: float64 {shm['float64']} B, float32 {shm['float32']} B "
+            f"(ratio {shm_ratio:.2f})"
+            if shm
+            else "shm params: shared memory unsupported on this platform"
+        )
+    )
+    assert speedup >= DTYPE_SPEEDUP_FLOOR, (
+        f"float32 tokens/sec speedup {speedup:.2f}x below the "
+        f"{DTYPE_SPEEDUP_FLOOR}x floor "
+        f"(best-of-{_TIMING_REPEATS}: {results['float64']['best_seconds']}s f64 "
+        f"vs {results['float32']['best_seconds']}s f32)"
+    )
+    if shm:
+        assert shm_ratio <= SHM_HALVING_CEILING, (
+            f"float32 shm parameter segment is {shm_ratio:.2f}x the float64 one; "
+            f"ceiling is {SHM_HALVING_CEILING}"
+        )
+    write_bench_artifact(
+        "BENCH_training.json",
+        "dtype_tokens_per_sec",
+        {
+            "tokens": tokens,
+            "repeats": _TIMING_REPEATS,
+            "per_dtype": results,
+            "speedup": round(speedup, 4),
+            "speedup_floor": DTYPE_SPEEDUP_FLOOR,
+            "recorded_speedup": RECORDED_DTYPE_SPEEDUP,
+            "shm_param_bytes": shm or None,
+            "shm_ratio": round(shm_ratio, 4) if shm_ratio is not None else None,
+            "shm_halving_ceiling": SHM_HALVING_CEILING,
         },
     )
 

@@ -25,6 +25,7 @@ from .tensor import (
     Tensor,
     checkpoint,
     concat,
+    dtype_audit,
     enable_grad,
     is_grad_enabled,
     no_grad,
@@ -45,6 +46,7 @@ __all__ = [
     "enable_grad",
     "is_grad_enabled",
     "checkpoint",
+    "dtype_audit",
     "softmax",
     "log_softmax",
     "logsumexp",

@@ -14,13 +14,35 @@ import numpy as np
 from .tensor import Tensor
 
 
+def _float64_leaves(inputs: Sequence[Tensor]) -> list:
+    """Float64 leaf copies of ``inputs`` preserving ``requires_grad`` flags.
+
+    Gradient checking is numerically meaningless at float32: the central
+    difference with ``eps=1e-6`` vanishes below single precision.  Both the
+    analytic and numeric passes therefore always run at float64, regardless
+    of the session dtype policy -- a float32-policy gradcheck still verifies
+    at float64 tolerances.
+    """
+    return [
+        Tensor(
+            np.asarray(inp.data, dtype=np.float64).copy(),
+            requires_grad=inp.requires_grad,
+        )
+        for inp in inputs
+    ]
+
+
 def numerical_gradient(
     fn: Callable[..., Tensor],
     inputs: Sequence[Tensor],
     wrt: int,
     eps: float = 1e-6,
 ) -> np.ndarray:
-    """Estimate d(sum(fn(*inputs))) / d(inputs[wrt]) by central differences."""
+    """Estimate d(sum(fn(*inputs))) / d(inputs[wrt]) by central differences.
+
+    Always differentiates at float64 (see :func:`_float64_leaves`).
+    """
+    inputs = _float64_leaves(inputs)
     target = inputs[wrt]
     grad = np.zeros_like(target.data)
     flat = target.data.reshape(-1)
@@ -47,7 +69,11 @@ def check_gradients(
 
     Raises ``AssertionError`` with a diagnostic message on mismatch; returns
     ``True`` on success so it can be used directly inside ``assert``.
+
+    Both passes run on float64 leaf copies of ``inputs`` whatever their
+    dtype, so the check is equally strict under a float32 session policy.
     """
+    inputs = _float64_leaves(inputs)
     for inp in inputs:
         inp.zero_grad()
     out = fn(*inputs)

@@ -43,6 +43,35 @@ class _GradMode(threading.local):
 _grad_mode = _GradMode()
 
 
+class _DtypeAudit(threading.local):
+    """Thread-local sink recording the dtype of every Tensor created."""
+
+    def __init__(self) -> None:
+        self.active: Optional[set] = None
+
+
+_dtype_audit = _DtypeAudit()
+
+
+@contextlib.contextmanager
+def dtype_audit():
+    """Record the dtype of every :class:`Tensor` created inside the block.
+
+    Yields a set that accumulates ``numpy.dtype`` objects.  Used by the
+    no-float64-on-production-path smoke: running ``fit -> generate`` under a
+    ``float32`` policy inside this context and asserting ``np.float64`` never
+    appears proves no kernel silently upcast.  Auditing is thread-local, so
+    concurrent sessions do not pollute each other's records.
+    """
+    previous = _dtype_audit.active
+    seen: set = set()
+    _dtype_audit.active = seen
+    try:
+        yield seen
+    finally:
+        _dtype_audit.active = previous
+
+
 @contextlib.contextmanager
 def no_grad():
     """Context manager that disables graph recording (like ``torch.no_grad``)."""
@@ -75,9 +104,34 @@ def is_grad_enabled() -> bool:
 
 
 def _as_array(value: ArrayLike) -> np.ndarray:
+    """Convert ``value`` to a floating ndarray, preserving float dtypes.
+
+    The dtype-preservation contract: an ndarray (or Tensor) that is already
+    floating keeps its dtype -- a ``float32`` array never silently widens to
+    ``float64`` just because it passed through a ``Tensor`` constructor.
+    Everything else (Python scalars, lists, integer/bool arrays) converts to
+    :data:`_DEFAULT_DTYPE` exactly as before.
+    """
     if isinstance(value, Tensor):
         return value.data
-    return np.asarray(value, dtype=_DEFAULT_DTYPE)
+    arr = np.asarray(value)
+    if np.issubdtype(arr.dtype, np.floating):
+        return arr
+    return np.asarray(arr, dtype=_DEFAULT_DTYPE)
+
+
+def _coerce_operand(other: ArrayLike, dtype: np.dtype) -> "Tensor":
+    """Wrap a non-Tensor binary-op operand at the left operand's dtype.
+
+    Binary ops between a Tensor and a plain scalar/array must not change the
+    Tensor's dtype: a Python-float constant in a ``float32`` graph would
+    otherwise drag every downstream node back to ``float64``.  Tensor-Tensor
+    ops are left to NumPy's promotion rules (mixing dtypes across Tensors is
+    an explicit caller choice).
+    """
+    if isinstance(other, Tensor):
+        return other
+    return Tensor(np.asarray(other, dtype=dtype))
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -115,8 +169,17 @@ class Tensor:
 
     __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fns", "_op")
 
+    #: Subclasses created *before* the session dtype policy is applied (model
+    #: parameters, which are initialised at float64 so RNG draws never depend
+    #: on the policy and are cast once by ``Module.to_dtype``) set this True
+    #: to opt out of :func:`dtype_audit` recording; their post-policy dtype
+    #: is asserted separately.
+    _dtype_audit_exempt = False
+
     def __init__(self, data: ArrayLike, requires_grad: bool = False) -> None:
         self.data: np.ndarray = _as_array(data)
+        if _dtype_audit.active is not None and not self._dtype_audit_exempt:
+            _dtype_audit.active.add(self.data.dtype)
         self.requires_grad: bool = bool(requires_grad)
         self.grad: Optional[np.ndarray] = None
         self._parents: Tuple[Tensor, ...] = ()
@@ -239,7 +302,7 @@ class Tensor:
     # Arithmetic (each returns a new node)
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = _coerce_operand(other, self.data.dtype)
         data = self.data + other_t.data
         return Tensor._from_op(
             data,
@@ -257,7 +320,7 @@ class Tensor:
         return Tensor._from_op(-self.data, (self,), (lambda g: -g,), "neg")
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = _coerce_operand(other, self.data.dtype)
         data = self.data - other_t.data
         return Tensor._from_op(
             data,
@@ -270,10 +333,10 @@ class Tensor:
         )
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other) - self
+        return _coerce_operand(other, self.data.dtype) - self
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = _coerce_operand(other, self.data.dtype)
         data = self.data * other_t.data
         return Tensor._from_op(
             data,
@@ -288,7 +351,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = _coerce_operand(other, self.data.dtype)
         data = self.data / other_t.data
         return Tensor._from_op(
             data,
@@ -301,7 +364,7 @@ class Tensor:
         )
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other) / self
+        return _coerce_operand(other, self.data.dtype) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
@@ -315,7 +378,7 @@ class Tensor:
         return Tensor._from_op(data, (self,), (grad_fn,), "pow")
 
     def __matmul__(self, other: "Tensor") -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = _coerce_operand(other, self.data.dtype)
         data = self.data @ other_t.data
 
         def grad_self(g: np.ndarray) -> np.ndarray:
@@ -362,7 +425,7 @@ class Tensor:
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
         """LeakyReLU with the paper's default negative slope of 0.2 (Eq. 5)."""
         mask = self.data > 0
-        scale = np.where(mask, 1.0, negative_slope)
+        scale = np.where(mask, 1.0, negative_slope).astype(self.data.dtype, copy=False)
         return Tensor._from_op(self.data * scale, (self,), (lambda g: g * scale,), "leaky_relu")
 
     def abs(self) -> "Tensor":
@@ -569,14 +632,26 @@ def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
     return Tensor(data, requires_grad=requires_grad)
 
 
-def zeros(shape: Union[int, Tuple[int, ...]], requires_grad: bool = False) -> Tensor:
+def zeros(
+    shape: Union[int, Tuple[int, ...]],
+    requires_grad: bool = False,
+    dtype: Optional[np.dtype] = None,
+) -> Tensor:
     """An all-zeros tensor of the given shape."""
-    return Tensor(np.zeros(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(
+        np.zeros(shape, dtype=dtype or _DEFAULT_DTYPE), requires_grad=requires_grad
+    )
 
 
-def ones(shape: Union[int, Tuple[int, ...]], requires_grad: bool = False) -> Tensor:
+def ones(
+    shape: Union[int, Tuple[int, ...]],
+    requires_grad: bool = False,
+    dtype: Optional[np.dtype] = None,
+) -> Tensor:
     """An all-ones tensor of the given shape."""
-    return Tensor(np.ones(shape, dtype=_DEFAULT_DTYPE), requires_grad=requires_grad)
+    return Tensor(
+        np.ones(shape, dtype=dtype or _DEFAULT_DTYPE), requires_grad=requires_grad
+    )
 
 
 def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:

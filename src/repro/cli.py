@@ -132,6 +132,14 @@ def _add_config(parser: argparse.ArgumentParser) -> None:
         "parameters and graph CSR live in shared segments, task messages "
         "are O(1) in model size, results are bit-identical either way)",
     )
+    parser.add_argument(
+        "--dtype",
+        default="float32",
+        choices=["float32", "float64"],
+        help="floating-point policy for parameters, activations and shm "
+        "segments (float32 = fast production default; float64 = the "
+        "bit-reproducible golden path)",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> TGAEConfig:
@@ -148,6 +156,7 @@ def _config_from(args: argparse.Namespace) -> TGAEConfig:
         train_shard_size=getattr(args, "train_shard_size", None),
         shm_dispatch=getattr(args, "shm_dispatch", True),
         checkpoint_attention=getattr(args, "checkpoint_attention", False),
+        dtype=getattr(args, "dtype", "float32"),
     )
 
 

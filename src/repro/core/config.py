@@ -6,8 +6,11 @@ including the switches that define the four ablation variants of Sec. IV-F.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 from typing import Optional
+
+import numpy as np
 
 from ..errors import ConfigError
 
@@ -98,6 +101,17 @@ class TGAEConfig:
         a parameter version -- O(1) in model size.  Bit-identical to the
         pickled-payload path; ``False`` restores it (as does a platform
         without shared-memory support, automatically).
+    dtype:
+        Floating-point policy for every model tensor: parameters,
+        activations, losses, and the shared-memory parameter/feature
+        segments.  ``"float32"`` (the production default) halves memory
+        bandwidth on the attention/decoder hot paths and the shm dispatch
+        footprint; ``"float64"`` is the golden/repro path whose outputs are
+        pinned bit-exactly by the GOLDEN_DENSE fingerprints.  The two
+        policies agree within tolerance (losses, generated-graph metrics,
+        ``score_topk`` rankings -- see ``tests/test_dtype_equivalence.py``);
+        integer index arrays and the engine's internal float64 sampling
+        scratch are unaffected.
     checkpoint_attention:
         Activation checkpointing for training: the TGAT layers free their
         per-edge activations (the O(batch * ego^2) tensors that dominate
@@ -134,6 +148,7 @@ class TGAEConfig:
     train_shard_size: Optional[int] = None
     shm_dispatch: bool = True
     checkpoint_attention: bool = False
+    dtype: str = "float32"
     epochs: int = 30
     learning_rate: float = 5e-3
     kl_weight: float = 1e-3
@@ -172,6 +187,15 @@ class TGAEConfig:
                 "parallel_backend must be 'process' or 'thread', "
                 f"got {self.parallel_backend!r}"
             )
+        if self.dtype not in ("float32", "float64"):
+            raise ConfigError(
+                f"dtype must be 'float32' or 'float64', got {self.dtype!r}"
+            )
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The policy dtype as a ``numpy.dtype``."""
+        return np.dtype(self.dtype)
 
     # Convenience constructors for the ablation variants (Sec. IV-F).
     def as_random_walk_variant(self) -> "TGAEConfig":
@@ -192,7 +216,13 @@ class TGAEConfig:
 
 
 def fast_config(**overrides) -> TGAEConfig:
-    """A small configuration suitable for tests and CI-scale benchmarks."""
+    """A small configuration suitable for tests and CI-scale benchmarks.
+
+    Unlike :class:`TGAEConfig` (production default ``float32``), this test
+    profile defaults to the ``float64`` golden path so the pinned fingerprint
+    corpus stays bit-stable.  Set ``REPRO_DTYPE=float32`` to sweep the whole
+    tier-1 suite under the production policy (a dedicated CI job does).
+    """
     defaults = dict(
         radius=2,
         neighbor_threshold=10,
@@ -205,6 +235,7 @@ def fast_config(**overrides) -> TGAEConfig:
         num_initial_nodes=32,
         epochs=8,
         learning_rate=1e-2,
+        dtype=os.environ.get("REPRO_DTYPE", "float64"),
     )
     defaults.update(overrides)
     return TGAEConfig(**defaults)

@@ -92,7 +92,11 @@ class EgoGraphDecoder(Module):
             log_sigma = self.mlp_sigma(center_features).clip(-6.0, 4.0)
             if sample:
                 rng = noise_rng if noise_rng is not None else self._noise_rng
-                noise = rng.standard_normal(mu.shape)
+                # Draw at float64 (generator-native) so the stream is
+                # policy-independent, then cast once to the session dtype.
+                noise = rng.standard_normal(mu.shape).astype(
+                    mu.data.dtype, copy=False
+                )
                 latent = mu + log_sigma.exp() * Tensor(noise)
             else:
                 latent = mu

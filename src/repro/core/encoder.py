@@ -89,7 +89,7 @@ class TGAEEncoder(Module):
         if features is None:
             self._external_features = None
             return
-        features = np.asarray(features, dtype=np.float64)
+        features = np.asarray(features, dtype=self.config.np_dtype)
         if self.feature_proj is None:
             raise ValueError("encoder was built without feature support (feature_dim=0)")
         if features.ndim == 2:

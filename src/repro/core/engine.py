@@ -47,6 +47,15 @@ from .sampler import EgoGraphSampler
 #: padding a deficient candidate row with distinct negatives.
 _PAD_ATTEMPTS = 8
 
+#: Rows per candidate-assembly tile.  The CSR gather, the partner-slot mask
+#: and the distinct-mask scratch of one tile (~tile * width int64/bool) stay
+#: L2-resident instead of streaming ``(rows, width)`` intermediates through
+#: memory three times.  A batch of at most this many rows is assembled in a
+#: single tile whose RNG call order is exactly the pre-tiling code's, so
+#: every chunked caller (chunks default to ``num_initial_nodes`` rows) is
+#: bit-identical to the historical path.
+_CAND_TILE_ROWS = 256
+
 
 def sample_rows_without_replacement(
     probs: np.ndarray,
@@ -335,14 +344,56 @@ class GenerationEngine:
             needed = np.minimum(np.asarray(min_distinct, dtype=np.int64), n - 1)
             width = max(limit, int(needed.max(initial=0)) + 1)
         offsets, partners = self.graph.out_partner_groups()
+        # Cache-blocked assembly: fixed-size row tiles, each fully finished
+        # (negatives, CSR gather, hub subsample, distinct mask, padding)
+        # before the next starts, so the per-tile scratch stays hot.  A
+        # single tile reproduces the untiled RNG call order exactly.
+        out = np.empty((rows, width), dtype=np.int64)
+        allowed = np.empty((rows, width), dtype=bool)
+        cols = np.arange(width)
+        for start in range(0, max(rows, 1), _CAND_TILE_ROWS):
+            stop = min(start + _CAND_TILE_ROWS, rows)
+            self._assemble_tile(
+                out[start:stop],
+                allowed[start:stop],
+                nodes[start:stop],
+                None if needed is None else needed[start:stop],
+                offsets,
+                partners,
+                cols,
+                rng,
+            )
+        return out, allowed
+
+    def _assemble_tile(
+        self,
+        out: np.ndarray,
+        allowed: np.ndarray,
+        nodes: np.ndarray,
+        needed: Optional[np.ndarray],
+        offsets: np.ndarray,
+        partners: np.ndarray,
+        cols: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        """Assemble one tile of candidate rows in place.
+
+        ``out``/``allowed`` are ``(tile, width)`` views into the batch
+        arrays; ``nodes``/``needed`` the matching row slices.  Uniform
+        negatives first, then historical partners gathered from the CSR
+        prefix, then an unbiased without-replacement subsample for hub rows
+        whose pool overflows the width, then the distinct-slot mask and
+        deficient-row padding.
+        """
+        n = self.graph.num_nodes
+        width = out.shape[1]
         pool_counts = offsets[nodes + 1] - offsets[nodes]
         take = np.minimum(pool_counts, width)
-        out = rng.integers(0, n, size=(rows, width), dtype=np.int64)
+        out[...] = rng.integers(0, n, size=out.shape, dtype=np.int64)
         if partners.size:
-            cols = np.arange(width)
             partner_slot = cols[None, :] < take[:, None]
             gather = np.where(partner_slot, offsets[nodes][:, None] + cols[None, :], 0)
-            out = np.where(partner_slot, partners[gather], out)
+            np.copyto(out, partners[gather], where=partner_slot)
             # Hubs with more partners than slots: an ascending-id prefix would
             # systematically exclude high-id partners, so overflowing rows
             # take an unbiased without-replacement subsample of their pool --
@@ -356,10 +407,9 @@ class GenerationEngine:
                 keys[np.arange(max_pool)[None, :] >= over_counts[:, None]] = np.inf
                 pick = np.argpartition(keys, width - 1, axis=1)[:, :width]
                 out[over] = partners[offsets[nodes[over]][:, None] + pick]
-        allowed = distinct_allowed_mask(out, nodes)
+        allowed[...] = distinct_allowed_mask(out, nodes)
         if needed is not None:
             self._pad_deficient_rows(out, nodes, needed, rng, allowed)
-        return out, allowed
 
     def _pad_deficient_rows(
         self,

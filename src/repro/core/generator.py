@@ -82,7 +82,9 @@ class TGAEGenerator(TemporalGraphGenerator):
         :attr:`history` (see :func:`~repro.core.trainer.train_tgae`).
         """
         self._node_features = (
-            np.asarray(node_features, dtype=np.float64) if node_features is not None else None
+            np.asarray(node_features, dtype=self.config.np_dtype)
+            if node_features is not None
+            else None
         )
         self._fit_verbose = verbose
         self._fit_track_memory = track_memory

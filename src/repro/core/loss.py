@@ -46,7 +46,7 @@ def reconstruction_loss(
     batch, num_nodes = logits.shape
     if len(target_rows) != batch:
         raise ShapeError(f"{len(target_rows)} target rows for batch of {batch}")
-    dense = np.zeros((batch, num_nodes), dtype=np.float64)
+    dense = np.zeros((batch, num_nodes), dtype=logits.data.dtype)
     active = 0
     for row_idx, neighbors in enumerate(target_rows):
         neigh = np.asarray(neighbors, dtype=np.int64).reshape(-1)
@@ -58,7 +58,7 @@ def reconstruction_loss(
     if scale is None:
         scale = (1.0 / active) if active else None
     if scale is None or active == 0:
-        return Tensor(np.zeros(()))
+        return Tensor(np.zeros((), dtype=logits.data.dtype))
     logp = log_softmax(logits, axis=-1)
     per_center = -(logp * Tensor(dense)).sum(axis=-1)
     # Average over *active* centres (the 1/n_s of Eq. 7 with empty rows dropped).
@@ -139,7 +139,7 @@ def candidate_reconstruction_loss(
         )
     if len(target_rows) != batch:
         raise ShapeError(f"{len(target_rows)} target rows for batch of {batch}")
-    dense = np.zeros((batch, width), dtype=np.float64)
+    dense = np.zeros((batch, width), dtype=logits.data.dtype)
     active = 0
     for row_idx, neighbors in enumerate(target_rows):
         neigh = np.asarray(neighbors, dtype=np.int64).reshape(-1)
@@ -157,7 +157,7 @@ def candidate_reconstruction_loss(
     if scale is None:
         scale = (1.0 / active) if active else None
     if scale is None or active == 0:
-        return Tensor(np.zeros(()))
+        return Tensor(np.zeros((), dtype=logits.data.dtype))
     logp = log_softmax(logits, axis=-1)
     per_center = -(logp * Tensor(dense)).sum(axis=-1)
     return per_center.sum() * scale

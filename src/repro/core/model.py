@@ -38,6 +38,10 @@ class TGAEModel(Module):
             num_nodes, num_timestamps, config, rng=rng, feature_dim=feature_dim
         )
         self.decoder = EgoGraphDecoder(num_nodes, config, rng=rng)
+        # Apply the session dtype policy once, after all parameters exist:
+        # init draws happen at float64 under every policy, then cast here
+        # (a no-op for float64, keeping the golden path bit-identical).
+        self.to_dtype(config.np_dtype)
 
     def forward(
         self,

@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -53,8 +53,19 @@ def save_generator(generator: TGAEGenerator, path: PathLike) -> None:
     np.savez_compressed(path, **arrays)
 
 
-def load_generator(path: PathLike) -> TGAEGenerator:
-    """Restore a generator previously written by :func:`save_generator`."""
+def load_generator(path: PathLike, dtype: Optional[str] = None) -> TGAEGenerator:
+    """Restore a generator previously written by :func:`save_generator`.
+
+    The checkpoint records its dtype policy (in the stored config) and the
+    parameter arrays are stored at that dtype; loading keeps the stored
+    policy by default.  ``dtype`` requests an *explicit* cast to another
+    policy (``"float32"``/``"float64"``) -- the config and every parameter
+    are converted together, so a loaded model never silently mixes
+    precisions.  Checkpoints from before the dtype policy existed carry no
+    ``dtype`` field; their policy is inferred from the stored arrays
+    (historically always float64).  A checkpoint whose arrays disagree with
+    its recorded policy is rejected with :class:`ConfigError`.
+    """
     with np.load(path, allow_pickle=False) as archive:
         if _META_KEY not in archive:
             raise ConfigError(f"{path!s} is not a saved TGAE generator")
@@ -63,7 +74,34 @@ def load_generator(path: PathLike) -> TGAEGenerator:
             raise ConfigError(
                 f"unsupported format version {meta.get('format_version')!r}"
             )
-        config = TGAEConfig(**meta["config"])
+        state = {
+            key[len("param:"):]: archive[key]
+            for key in archive.files
+            if key.startswith("param:")
+        }
+        cfg_dict = dict(meta["config"])
+        if "dtype" not in cfg_dict:
+            # Pre-policy checkpoint: the stored arrays *are* the policy.
+            stored_dtypes = sorted({str(arr.dtype) for arr in state.values()})
+            cfg_dict["dtype"] = stored_dtypes[0] if len(stored_dtypes) == 1 else "float64"
+        config = TGAEConfig(**cfg_dict)
+        mixed = sorted(
+            name for name, arr in state.items() if arr.dtype != config.np_dtype
+        )
+        if mixed:
+            raise ConfigError(
+                f"checkpoint records dtype={config.dtype!r} but parameters "
+                f"{mixed} are stored at a different precision; refusing to "
+                "mix silently"
+            )
+        if dtype is not None:
+            try:
+                requested = np.dtype(dtype).name
+            except TypeError as exc:
+                raise ConfigError(f"invalid dtype {dtype!r}") from exc
+            # Explicit cross-policy cast: config and parameters move together
+            # (TGAEConfig validation rejects anything but float32/float64).
+            config = dataclasses.replace(config, dtype=requested)
         generator = TGAEGenerator(config)
         generator.name = meta.get("name", "TGAE")
         observed = TemporalGraph(
@@ -75,11 +113,6 @@ def load_generator(path: PathLike) -> TGAEGenerator:
             validate=False,
         )
         model = TGAEModel(meta["num_nodes"], meta["num_timestamps"], config)
-        state = {
-            key[len("param:"):]: archive[key]
-            for key in archive.files
-            if key.startswith("param:")
-        }
         model.load_state_dict(state)
         model.eval()
     generator._observed = observed

@@ -16,10 +16,23 @@ from ..autograd import Tensor
 
 
 class Parameter(Tensor):
-    """A :class:`Tensor` that is registered as a trainable model parameter."""
+    """A :class:`Tensor` that is registered as a trainable model parameter.
+
+    Floating input arrays keep their dtype (a ``float32`` parameter stays
+    ``float32``); anything else converts to ``float64``.  The session dtype
+    policy is applied by :meth:`Module.to_dtype` after construction, so
+    initialiser RNG draws are identical under every policy; construction is
+    therefore exempt from :func:`repro.autograd.dtype_audit` (the post-cast
+    dtype is what the policy guarantees, and tests assert it directly).
+    """
+
+    _dtype_audit_exempt = True
 
     def __init__(self, data) -> None:
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True)
+        arr = np.asarray(data)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = np.asarray(arr, dtype=np.float64)
+        super().__init__(arr, requires_grad=True)
 
 
 class Module:
@@ -71,6 +84,21 @@ class Module:
     def num_parameters(self) -> int:
         """Total number of scalar trainable parameters."""
         return sum(p.size for p in self.parameters())
+
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every parameter of this module tree to ``dtype`` in place.
+
+        The dtype-policy entry point: parameters are always *initialised* at
+        float64 (so RNG draws never depend on the policy) and then cast once
+        here.  Casting to the dtype a parameter already has is a no-op
+        (``copy=False``), which keeps the float64 golden path bit-identical.
+        """
+        target = np.dtype(dtype)
+        for param in self.parameters():
+            param.data = param.data.astype(target, copy=False)
+            if param.grad is not None:
+                param.grad = param.grad.astype(target, copy=False)
+        return self
 
     # ------------------------------------------------------------------
     # Mode switching

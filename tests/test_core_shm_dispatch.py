@@ -275,6 +275,54 @@ class TestShmDispatchBitIdentity:
         assert len(pickle.dumps(task)) < 4096
 
 
+class TestDtypePolicyShm:
+    """The shm store under the session dtype policy: segments are packed at
+    the policy dtype (float32 halves the parameter segment) and dispatch
+    stays bit-identical under either policy."""
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_reattach_round_trip_per_dtype(self, dtype):
+        arrays = {
+            "w": np.arange(20, dtype=dtype).reshape(4, 5),
+            "b": np.ones(3, dtype=dtype),
+        }
+        store = SharedArrayStore(arrays)
+        try:
+            shm, views = attach_shared_arrays(store.handle)
+            try:
+                for key, original in arrays.items():
+                    assert views[key].dtype == np.dtype(dtype)
+                    assert np.array_equal(views[key], original)
+            finally:
+                del views
+                shm.close()
+        finally:
+            store.close()
+
+    def test_float32_param_segment_roughly_half(self, observed):
+        sizes = {}
+        for dtype in ("float32", "float64"):
+            config = fast_config(dtype=dtype)
+            model = TGAEModel(observed.num_nodes, observed.num_timestamps, config)
+            store = SharedArrayStore(model.state_dict())
+            try:
+                sizes[dtype] = store.handle.nbytes
+            finally:
+                store.close()
+        ratio = sizes["float32"] / sizes["float64"]
+        # Exactly half the payload; per-array 64-byte alignment padding can
+        # nudge the segment total slightly above 0.5.
+        assert 0.49 <= ratio <= 0.6, sizes
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_shm_training_bit_identical_per_dtype(self, observed, dtype):
+        sequential = train_run(observed, workers=1, dtype=dtype)
+        with WorkerPool(2, backend="process", shm_dispatch=True) as pool:
+            assert pool.shm_active
+            pooled = train_run(observed, workers=2, dtype=dtype, pool=pool)
+        assert_same_run(sequential, pooled)
+
+
 class TestShmTeardown:
     """Segments never outlive the pool, whatever kills it."""
 
