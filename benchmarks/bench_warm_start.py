@@ -1,0 +1,107 @@
+"""Warm-start utility gate: ``update()`` after an append beats a cold refit.
+
+The online-ingestion story (PR 8) only pays off if continuing training from
+the current weights, optimizer moments and RNG position actually converges
+faster than refitting from scratch.  This benchmark pins that claim as a CI
+gate and records the trajectory into ``BENCH_training.json``:
+
+* Fit a *cold* generator on the full graph for ``EPOCHS`` epochs; its final
+  loss is the quality target.
+* Fit a *warm* generator on the first 80% of the edges, append the held-out
+  20% via :meth:`TGAEGenerator.update`, and train on.  The warm run must
+  reach the cold run's final loss within ``WARM_EPOCH_BUDGET`` (0.5x) of the
+  cold epoch count.
+
+Every stream is seeded, so the measured trajectories -- and therefore the
+gate -- are deterministic for a given dtype policy (the gate holds under
+both; CI runs whichever ``REPRO_DTYPE`` selects).
+"""
+
+import numpy as np
+
+from _artifacts import write_bench_artifact
+from repro.core import TGAEGenerator, fast_config
+from repro.datasets import communication_network
+from repro.graph.temporal_graph import TemporalGraph
+
+#: Cold-refit epoch count; the warm run gets the same budget but must hit
+#: the cold run's final loss much earlier.
+EPOCHS = 10
+
+#: The gate: warm-start must reach the cold final loss within half the
+#: cold epoch budget.
+WARM_EPOCH_BUDGET = EPOCHS // 2
+
+#: Fraction of edges the warm generator sees before the append.
+BASE_FRACTION = 0.8
+
+
+def _edge_split(full, fraction, seed=42):
+    """Deterministically split ``full``'s edges into (base graph, held-out triple)."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(full.num_edges)
+    cut = int(round(full.num_edges * fraction))
+    base_idx, new_idx = np.sort(order[:cut]), np.sort(order[cut:])
+    base = TemporalGraph(
+        full.num_nodes,
+        full.src[base_idx],
+        full.dst[base_idx],
+        full.t[base_idx],
+        num_timestamps=full.num_timestamps,
+    )
+    held_out = (full.src[new_idx], full.dst[new_idx], full.t[new_idx])
+    # Cold reference trains on base-then-appended order so both runs see the
+    # identical edge multiset (epoch sampling never depends on edge order,
+    # but keeping the lists equal makes the comparison airtight).
+    reordered = TemporalGraph(
+        full.num_nodes,
+        np.concatenate([full.src[base_idx], full.src[new_idx]]),
+        np.concatenate([full.dst[base_idx], full.dst[new_idx]]),
+        np.concatenate([full.t[base_idx], full.t[new_idx]]),
+        num_timestamps=full.num_timestamps,
+    )
+    return base, held_out, reordered
+
+
+def bench_warm_start_convergence():
+    """update() after a 20% append reaches the cold final loss in <= 0.5x epochs."""
+    full = communication_network(120, 1400, 5, seed=9)
+    base, held_out, reordered = _edge_split(full, BASE_FRACTION)
+    config = fast_config(epochs=EPOCHS, num_initial_nodes=32, seed=5)
+
+    cold = TGAEGenerator(config).fit(reordered)
+    target = cold.history.final_loss
+
+    warm = TGAEGenerator(config).fit(base)
+    warm.update(held_out, epochs=EPOCHS)
+    warm_losses = warm.history.losses
+    hits = [i + 1 for i, loss in enumerate(warm_losses) if loss <= target]
+    first_hit = hits[0] if hits else None
+
+    print(
+        f"\n=== warm-start after {1 - BASE_FRACTION:.0%} append "
+        f"@ n={full.num_nodes}, m={full.num_edges} ===\n"
+        f"cold final loss ({EPOCHS} epochs): {target:.4f}\n"
+        f"warm losses: {[round(loss, 4) for loss in warm_losses]}\n"
+        f"first epoch at/below target: {first_hit}  "
+        f"(budget: {WARM_EPOCH_BUDGET})"
+    )
+    assert warm.observed.num_edges == full.num_edges
+    assert warm.train_state.epoch == 2 * EPOCHS
+    assert first_hit is not None and first_hit <= WARM_EPOCH_BUDGET, (
+        f"warm-start needed {first_hit} epochs to reach the cold final loss "
+        f"{target:.4f}; budget is {WARM_EPOCH_BUDGET} of {EPOCHS}"
+    )
+    write_bench_artifact(
+        "BENCH_training.json",
+        "warm_start",
+        {
+            "epochs": EPOCHS,
+            "base_fraction": BASE_FRACTION,
+            "cold_final_loss": round(float(target), 6),
+            "warm_losses": [round(float(loss), 6) for loss in warm_losses],
+            "first_hit_epoch": first_hit,
+            "budget_epochs": WARM_EPOCH_BUDGET,
+            "dtype": config.dtype,
+        },
+    )

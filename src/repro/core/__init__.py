@@ -33,6 +33,7 @@ from .trainer import (
     TrainShardResult,
     TrainShardTask,
     TrainingHistory,
+    TrainingState,
     run_train_shard,
     train_tgae,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "TrainingBatch",
     "train_tgae",
     "TrainingHistory",
+    "TrainingState",
     "tgae_loss",
     "reconstruction_loss",
     "adjacency_target_rows",

@@ -11,12 +11,13 @@ dense node x node array is ever materialised outside tests).
 
 from __future__ import annotations
 
-from typing import List, Optional
+import dataclasses
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..base import TemporalGraphGenerator
-from ..errors import GenerationError, NotFittedError
+from ..errors import GenerationError, GraphFormatError, NotFittedError
 from ..graph.temporal_graph import TemporalGraph
 from ..rng import stream
 from .config import TGAEConfig
@@ -29,7 +30,28 @@ from .engine import (
 from .model import TGAEModel
 from .parallel import WorkerPool
 from .sampler import EgoGraphSampler
-from .trainer import TrainingHistory, train_tgae
+from .trainer import TrainingHistory, TrainingState, train_tgae
+
+EdgeBatch = Union[TemporalGraph, np.ndarray, Tuple[Sequence[int], Sequence[int], Sequence[int]]]
+
+
+def _as_edge_arrays(new_edges: EdgeBatch) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Normalise an edge batch to parallel ``(src, dst, t)`` int64 arrays.
+
+    Accepts a :class:`TemporalGraph`, a ``(src, dst, t)`` triple of
+    sequences, or a ``(k, 3)`` array of ``src dst t`` rows.
+    """
+    if isinstance(new_edges, TemporalGraph):
+        return new_edges.src, new_edges.dst, new_edges.t
+    if isinstance(new_edges, tuple) and len(new_edges) == 3:
+        return tuple(np.asarray(col, dtype=np.int64).reshape(-1) for col in new_edges)
+    array = np.asarray(new_edges, dtype=np.int64)
+    if array.ndim != 2 or array.shape[1] != 3:
+        raise GraphFormatError(
+            "new_edges must be a TemporalGraph, a (src, dst, t) triple of "
+            f"arrays, or a (k, 3) array of rows; got shape {array.shape}"
+        )
+    return array[:, 0], array[:, 1], array[:, 2]
 
 # Back-compat aliases: the row samplers started life as private helpers of
 # this module and are re-exported for existing importers.
@@ -63,6 +85,10 @@ class TGAEGenerator(TemporalGraphGenerator):
         self.config = config if config is not None else TGAEConfig()
         self.model: Optional[TGAEModel] = None
         self.history: Optional[TrainingHistory] = None
+        #: Resume/warm-start handle of the last training run (cumulative
+        #: lineage); ``None`` until fitted, or for generators restored from
+        #: weights-only (format-v1) checkpoints.
+        self.train_state: Optional[TrainingState] = None
         self._node_features: Optional[np.ndarray] = None
         self._pool: Optional[WorkerPool] = None
 
@@ -110,6 +136,61 @@ class TGAEGenerator(TemporalGraphGenerator):
             track_memory=getattr(self, "_fit_track_memory", False),
             pool=self._active_pool(),
         )
+        self.train_state = self.history.state
+
+    # ------------------------------------------------------------------
+    # Incremental ingestion (append + warm-start)
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        new_edges: Optional[EdgeBatch] = None,
+        epochs: Optional[int] = None,
+        verbose: bool = False,
+    ) -> "TGAEGenerator":
+        """Append observed edges and warm-start training from the current state.
+
+        The online-ingestion path: ``new_edges`` (a :class:`TemporalGraph`,
+        a ``(src, dst, t)`` triple, or a ``(k, 3)`` row array) are appended
+        to the observed graph via :meth:`TemporalGraph.appended` -- cached
+        structures are maintained incrementally, and the node/timestamp
+        universe is fixed (the model's embeddings are sized by it), so
+        out-of-universe edges are rejected.  Training then continues for
+        ``epochs`` epochs (default ``config.epochs``) from the current
+        weights, optimizer moments and RNG position (:attr:`train_state`),
+        exactly as if the run had never stopped.  With ``new_edges=None``
+        this is a pure resume -- the ``fit --resume`` path.
+
+        Generators restored from weights-only (format-v1) checkpoints have
+        no :attr:`train_state`; they warm-start the weights but run a cold
+        optimizer on a fresh RNG lineage.
+
+        The next pooled dispatch after an append republishes the
+        shared-memory graph segment automatically: the structure fingerprint
+        (``_engine_token``) covers the edge arrays, so the stale segment is
+        rebuilt exactly once and then cached again.
+        """
+        if self.model is None or self._observed is None:
+            raise NotFittedError("update() requires a fitted generator")
+        observed = self.observed
+        if new_edges is not None:
+            new_src, new_dst, new_t = _as_edge_arrays(new_edges)
+            observed = observed.appended(
+                new_src, new_dst, new_t, num_timestamps=observed.num_timestamps
+            )
+        config = (
+            self.config
+            if epochs is None
+            else dataclasses.replace(self.config, epochs=int(epochs))
+        )
+        self._observed = observed
+        self.history = train_tgae(
+            self.model, observed, config,
+            verbose=verbose,
+            pool=self._active_pool(),
+            resume_from=self.train_state,
+        )
+        self.train_state = self.history.state
+        return self
 
     # ------------------------------------------------------------------
     # Persistent worker pool

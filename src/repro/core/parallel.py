@@ -364,6 +364,11 @@ def _engine_token(engine: Any, include_state: bool) -> str:
     structure -- which is what lets one process pool survive a whole
     training run even though the weights change every epoch.  Reads the
     live arrays in place (no ``state_dict`` copy).
+
+    Both flavours hash the graph's edge arrays, so appending observed
+    edges (:meth:`TGAEGenerator.update`) changes the token and the next
+    pooled dispatch republishes the shared-memory graph segment -- exactly
+    once, after which the new token is cached like any other.
     """
     digest = hashlib.sha256()
     graph = engine.graph

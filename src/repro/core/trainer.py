@@ -29,7 +29,7 @@ import math
 import time
 import tracemalloc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -52,8 +52,42 @@ DEFAULT_TRAIN_SHARDS = 4
 
 
 @dataclass
+class TrainingState:
+    """Everything needed to continue a training run exactly where it stopped.
+
+    Captured at the end of every :func:`train_tgae` call (on the returned
+    history's ``state``) and persisted by format-v2 checkpoints.  Feeding it
+    back via ``train_tgae(..., resume_from=state)`` re-derives the epoch
+    seed-stream from the recorded RNG position and warm-starts the optimizer
+    from the recorded moments, so a run split into 5+5 epochs is
+    bit-identical to an uninterrupted 10-epoch run -- for any worker count,
+    backend and dtype (see docs/ARCHITECTURE.md, "Append / warm-start
+    lifecycle").
+    """
+
+    #: Number of epochs completed so far, across all runs of this lineage.
+    epoch: int
+    #: Name-keyed :meth:`~repro.optim.base.Optimizer.state_dict` snapshot.
+    optimizer: Dict[str, Any]
+    #: ``entropy`` of the run's root :class:`~numpy.random.SeedSequence`.
+    rng_entropy: int
+    #: ``spawn_key`` of the run's root seed sequence.  Together with the
+    #: entropy this pins the root exactly; epoch ``i``'s stream is child
+    #: ``i`` of the root no matter how the epochs are batched into runs.
+    rng_spawn_key: Tuple[int, ...]
+    #: Cumulative per-epoch losses across all runs of this lineage.
+    losses: List[float] = field(default_factory=list)
+    #: Cumulative per-epoch clipped gradient norms, parallel to ``losses``.
+    grad_norms: List[float] = field(default_factory=list)
+
+
+@dataclass
 class TrainingHistory:
-    """Per-epoch diagnostics collected during :func:`train_tgae`."""
+    """Per-epoch diagnostics collected during :func:`train_tgae`.
+
+    The per-epoch lists cover *this call only*; ``state`` carries the
+    cumulative lineage (prior-run epochs included) for checkpointing.
+    """
 
     losses: List[float] = field(default_factory=list)
     grad_norms: List[float] = field(default_factory=list)
@@ -61,6 +95,8 @@ class TrainingHistory:
     epoch_seconds: List[float] = field(default_factory=list)
     #: Peak traced bytes per epoch; zeros unless ``track_memory`` was on.
     peak_memory_bytes: List[int] = field(default_factory=list)
+    #: Resume/warm-start handle captured when the run completes.
+    state: Optional[TrainingState] = None
 
     @property
     def final_loss(self) -> Optional[float]:
@@ -203,6 +239,7 @@ def train_tgae(
     backend: Optional[str] = None,
     pool: Optional[WorkerPool] = None,
     track_memory: bool = False,
+    resume_from: Optional[TrainingState] = None,
 ) -> TrainingHistory:
     """Optimise ``model`` on ``graph`` with the Eq. 7 mini-batch objective.
 
@@ -234,9 +271,21 @@ def train_tgae(
         tracing if it is not already running (and stops it afterwards);
         when a caller already traces, the caller's peak counters are reset
         every epoch.
+    resume_from:
+        A :class:`TrainingState` from a previous run (``history.state`` or a
+        format-v2 checkpoint).  The run then executes ``config.epochs``
+        *additional* epochs: the root seed sequence is rebuilt from the
+        recorded RNG position and epoch ``i`` of the lineage always consumes
+        child stream ``i``, and the optimizer restores its moments and step
+        count -- so a resumed 5+5 split is bit-identical to a straight
+        10-epoch run.  Mutually exclusive with ``rng`` (the recorded
+        position already pins the streams).  The model must already hold
+        the weights the state was captured against (load the checkpoint
+        first); ``resume_from`` itself carries only optimizer/RNG state.
 
     Returns the loss/gradient/etc. history so callers (and tests) can verify
-    the optimisation actually made progress.
+    the optimisation actually made progress; ``history.state`` is the
+    resume/warm-start handle for the next run.
     """
     from .engine import GenerationEngine
 
@@ -250,13 +299,36 @@ def train_tgae(
             f"parallel backend must be one of {BACKENDS}, got {backend!r}"
         )
     shard_size = _resolve_shard_size(config)
-    if rng is None:
+    if resume_from is not None:
+        if rng is not None:
+            raise ConfigError(
+                "pass either rng or resume_from, not both: a resumed run re-derives "
+                "its streams from the recorded RNG position"
+            )
+        start_epoch = int(resume_from.epoch)
+        if start_epoch < 0:
+            raise ConfigError(f"resume_from.epoch must be >= 0, got {start_epoch}")
+        root = np.random.SeedSequence(
+            entropy=int(resume_from.rng_entropy),
+            spawn_key=tuple(int(word) for word in resume_from.rng_spawn_key),
+        )
+    elif rng is None:
+        start_epoch = 0
         root = seed_sequence(config.seed, "tgae", "trainer")
     else:
+        start_epoch = 0
         root = np.random.SeedSequence(int(rng.integers(np.iinfo(np.int64).max)))
-    epoch_seqs = spawn_streams(root, config.epochs)
+    rng_entropy = int(root.entropy)
+    rng_spawn_key = tuple(int(word) for word in root.spawn_key)
+    total_epochs = start_epoch + config.epochs
+    # Spawning the full lineage and slicing makes epoch i consume child
+    # stream i of the root regardless of how the epochs were batched into
+    # runs -- the resume bit-identity contract.
+    epoch_seqs = spawn_streams(root, total_epochs)[start_epoch:]
 
-    optimizer = Adam(model.parameters(), lr=config.learning_rate)
+    optimizer = Adam(model.named_parameters(), lr=config.learning_rate)
+    if resume_from is not None:
+        optimizer.load_state_dict(resume_from.optimizer)
     history = TrainingHistory()
     engine = GenerationEngine(model, graph, config)
     own_pool = pool is None and workers > 1
@@ -268,13 +340,14 @@ def train_tgae(
         started_tracing = True
     model.train()
     try:
-        for epoch in range(config.epochs):
+        for offset, epoch_seq in enumerate(epoch_seqs):
+            epoch = start_epoch + offset
             tick = time.perf_counter()
             if track_memory:
                 tracemalloc.reset_peak()
             # One centre stream and one shard root per epoch, both spawned
             # from the run root -- execution order can never leak in.
-            center_seq, shard_root = epoch_seqs[epoch].spawn(2)
+            center_seq, shard_root = epoch_seq.spawn(2)
             centers = sample_initial_nodes(
                 graph,
                 config.num_initial_nodes,
@@ -334,7 +407,7 @@ def train_tgae(
                     f"  peak={peak / 1e6:.1f}MB" if track_memory else ""
                 )
                 print(
-                    f"[tgae] epoch {epoch + 1}/{config.epochs}  "
+                    f"[tgae] epoch {epoch + 1}/{total_epochs}  "
                     f"loss={loss_value:.4f}  grad_norm={grad_norm:.3f}  "
                     f"{history.epoch_seconds[-1]:.2f}s{memory}"
                 )
@@ -347,4 +420,14 @@ def train_tgae(
             tracemalloc.stop()
         if own_pool and pool is not None:
             pool.close()
+    prior_losses = list(resume_from.losses) if resume_from is not None else []
+    prior_norms = list(resume_from.grad_norms) if resume_from is not None else []
+    history.state = TrainingState(
+        epoch=total_epochs,
+        optimizer=optimizer.state_dict(),
+        rng_entropy=rng_entropy,
+        rng_spawn_key=rng_spawn_key,
+        losses=prior_losses + list(history.losses),
+        grad_norms=prior_norms + list(history.grad_norms),
+    )
     return history

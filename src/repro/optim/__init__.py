@@ -2,11 +2,13 @@
 
 from .accumulate import load_gradients, merge_gradient_shards
 from .adam import Adam
+from .base import Optimizer
 from .clip import clip_grad_norm
 from .scheduler import ConstantLR, ExponentialDecayLR, StepLR
 from .sgd import SGD
 
 __all__ = [
+    "Optimizer",
     "SGD",
     "Adam",
     "clip_grad_norm",

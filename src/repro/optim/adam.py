@@ -2,21 +2,26 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Dict, Iterable, Tuple
 
 import numpy as np
 
 from ..errors import ConfigError
-from ..nn.module import Parameter
-from .base import Optimizer
+from .base import Optimizer, ParameterLike
 
 
 class Adam(Optimizer):
-    """Adam with bias-corrected first/second moment estimates."""
+    """Adam with bias-corrected first/second moment estimates.
+
+    The first/second moments are name-keyed (see :class:`Optimizer`), so
+    ``state_dict()`` / ``load_state_dict()`` round-trip them together with
+    the step count -- warm-starting a resumed run reproduces the exact
+    update sequence of an uninterrupted one.
+    """
 
     def __init__(
         self,
-        parameters: Iterable[Parameter],
+        parameters: Iterable[ParameterLike],
         lr: float = 1e-3,
         betas: Tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
@@ -28,21 +33,25 @@ class Adam(Optimizer):
         self.betas = (float(betas[0]), float(betas[1]))
         self.eps = float(eps)
         self.weight_decay = float(weight_decay)
-        self._m = [np.zeros_like(p.data) for p in self.parameters]
-        self._v = [np.zeros_like(p.data) for p in self.parameters]
-        self._t = 0
+        self._m = {name: np.zeros_like(p.data) for name, p in self.named_parameters()}
+        self._v = {name: np.zeros_like(p.data) for name, p in self.named_parameters()}
+
+    def _state_slots(self) -> Dict[str, Dict[str, np.ndarray]]:
+        return {"m": self._m, "v": self._v}
 
     def step(self) -> None:
-        self._t += 1
+        self.step_count += 1
         beta1, beta2 = self.betas
-        bias1 = 1.0 - beta1**self._t
-        bias2 = 1.0 - beta2**self._t
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        bias1 = 1.0 - beta1**self.step_count
+        bias2 = 1.0 - beta2**self.step_count
+        for name, param in self.named_parameters():
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
+            m = self._m[name]
+            v = self._v[name]
             m *= beta1
             m += (1.0 - beta1) * grad
             v *= beta2

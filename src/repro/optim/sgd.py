@@ -2,20 +2,23 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Dict, Iterable
 
 import numpy as np
 
-from ..nn.module import Parameter
-from .base import Optimizer
+from .base import Optimizer, ParameterLike
 
 
 class SGD(Optimizer):
-    """Classic SGD: ``p -= lr * (grad + wd * p)`` with optional momentum."""
+    """Classic SGD: ``p -= lr * (grad + wd * p)`` with optional momentum.
+
+    The momentum velocity is name-keyed so it checkpoints through
+    ``state_dict()`` / ``load_state_dict()`` like Adam's moments.
+    """
 
     def __init__(
         self,
-        parameters: Iterable[Parameter],
+        parameters: Iterable[ParameterLike],
         lr: float = 0.01,
         momentum: float = 0.0,
         weight_decay: float = 0.0,
@@ -23,16 +26,21 @@ class SGD(Optimizer):
         super().__init__(parameters, lr)
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
-        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+        self._velocity = {name: np.zeros_like(p.data) for name, p in self.named_parameters()}
+
+    def _state_slots(self) -> Dict[str, Dict[str, np.ndarray]]:
+        return {"velocity": self._velocity}
 
     def step(self) -> None:
-        for param, vel in zip(self.parameters, self._velocity):
+        self.step_count += 1
+        for name, param in self.named_parameters():
             if param.grad is None:
                 continue
             grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
             if self.momentum:
+                vel = self._velocity[name]
                 vel *= self.momentum
                 vel += grad
                 update = vel

@@ -14,6 +14,7 @@ from strategies.settings import (
     QUICK_SETTINGS,
     SLOW_SETTINGS,
     STANDARD_SETTINGS,
+    STATE_MACHINE_SETTINGS,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "QUICK_SETTINGS",
     "SLOW_SETTINGS",
     "STANDARD_SETTINGS",
+    "STATE_MACHINE_SETTINGS",
 ]

@@ -8,6 +8,9 @@ Tiers:
 
 - ``DETERMINISM_SETTINGS``: 200 examples -- seed/reproducibility invariants
   where silent breakage would poison every downstream experiment.
+- ``STATE_MACHINE_SETTINGS``: 200 examples -- stateful (rule-based) tests
+  where each example is a whole operation sequence, e.g. incremental
+  ``appended()`` cache maintenance vs a from-scratch rebuild.
 - ``STANDARD_SETTINGS``: 80 examples -- regular structural property tests.
 - ``SLOW_SETTINGS``: 40 examples -- tests that build graphs / run models
   per example.
@@ -21,6 +24,7 @@ whose per-example timing jitter would otherwise cause flaky failures.
 from hypothesis import settings
 
 DETERMINISM_SETTINGS = settings(max_examples=200, deadline=None)
+STATE_MACHINE_SETTINGS = settings(max_examples=200, deadline=None)
 STANDARD_SETTINGS = settings(max_examples=80, deadline=None)
 SLOW_SETTINGS = settings(max_examples=40, deadline=None)
 QUICK_SETTINGS = settings(max_examples=25, deadline=None)

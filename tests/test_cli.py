@@ -63,6 +63,58 @@ class TestPipeline:
             main(["fit", "--model", str(tmp_path / "m.npz")])
 
 
+class TestResumeAndUpdate:
+    def _fit(self, edge_list, model_path):
+        assert main([
+            "fit", "--input", str(edge_list), "--model", str(model_path),
+            "--epochs", "2", "--initial-nodes", "16",
+        ]) == 0
+
+    def test_fit_resume_continues_lineage(self, tmp_path, edge_list, capsys):
+        model_path = tmp_path / "model.npz"
+        self._fit(edge_list, model_path)
+        assert main([
+            "fit", "--resume", str(model_path), "--model", str(model_path),
+            "--epochs", "2",
+        ]) == 0
+        from repro.core import load_generator
+
+        generator = load_generator(model_path)
+        assert generator.train_state is not None
+        assert generator.train_state.epoch == 4
+
+    def test_fit_resume_rejects_graph_source(self, edge_list, tmp_path):
+        with pytest.raises(SystemExit, match="update"):
+            main([
+                "fit", "--resume", str(tmp_path / "m.npz"),
+                "--model", str(tmp_path / "m.npz"), "--input", str(edge_list),
+            ])
+
+    def test_update_appends_edges(self, tmp_path, edge_list, capsys):
+        model_path = tmp_path / "model.npz"
+        self._fit(edge_list, model_path)
+        rng = np.random.default_rng(4)
+        batch = TemporalGraph(
+            15, rng.integers(0, 15, 12), rng.integers(0, 15, 12),
+            rng.integers(0, 4, 12), num_timestamps=4,
+        )
+        new_path = tmp_path / "new.txt"
+        save_edge_list(batch, new_path)
+        out_path = tmp_path / "updated.npz"
+        assert main([
+            "update", "--model", str(model_path), "--edges", str(new_path),
+            "--epochs", "2", "--output", str(out_path),
+        ]) == 0
+        from repro.core import load_generator
+
+        updated = load_generator(out_path)
+        observed = load_edge_list(edge_list)
+        assert updated.observed.num_edges == observed.num_edges + batch.num_edges
+        assert updated.train_state.epoch == 4
+        # the original checkpoint was left untouched
+        assert load_generator(model_path).train_state.epoch == 2
+
+
 class TestTableCommand:
     def test_table6_on_file(self, edge_list, capsys):
         assert main([

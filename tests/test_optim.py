@@ -87,6 +87,88 @@ class TestAdam:
         assert np.allclose(param.data, 2.4, atol=0.3)
 
 
+class TestOptimizerState:
+    """Name-keyed state_dict/load_state_dict round-trips (checkpoint format v2)."""
+
+    def _trained_adam(self, steps=5):
+        param = Parameter(np.zeros(3))
+        opt = Adam([("w", param)], lr=0.1)
+        run_steps(opt, param, steps)
+        return param, opt
+
+    def test_roundtrip_continues_trajectory_bit_identically(self):
+        ref_param = Parameter(np.zeros(3))
+        ref_opt = Adam([("w", ref_param)], lr=0.1)
+        run_steps(ref_opt, ref_param, 10)
+
+        param, opt = self._trained_adam(steps=5)
+        snapshot = opt.state_dict()
+        resumed = Adam([("w", param)], lr=0.1)
+        resumed.load_state_dict(snapshot)
+        run_steps(resumed, param, 5)
+
+        np.testing.assert_array_equal(param.data, ref_param.data)
+        assert resumed.step_count == ref_opt.step_count == 10
+
+    def test_state_dict_keys_and_copies(self):
+        param, opt = self._trained_adam()
+        state = opt.state_dict()
+        assert state["step"] == 5
+        assert set(state["slots"]) == {"m", "v"}
+        assert set(state["slots"]["m"]) == {"w"}
+        # returned arrays are copies: mutating them must not touch the optimizer
+        state["slots"]["m"]["w"][:] = 99.0
+        assert not np.any(opt.state_dict()["slots"]["m"]["w"] == 99.0)
+
+    def test_positional_parameters_get_synthetic_names(self):
+        opt = SGD([Parameter(np.zeros(2)), Parameter(np.zeros(3))], lr=0.1, momentum=0.9)
+        assert set(opt.state_dict()["slots"]["velocity"]) == {"param.0", "param.1"}
+
+    def test_sgd_velocity_roundtrip(self):
+        ref_param = Parameter(np.zeros(4))
+        ref_opt = SGD([("w", ref_param)], lr=0.05, momentum=0.9)
+        run_steps(ref_opt, ref_param, 8)
+
+        param = Parameter(np.zeros(4))
+        opt = SGD([("w", param)], lr=0.05, momentum=0.9)
+        run_steps(opt, param, 4)
+        resumed = SGD([("w", param)], lr=0.05, momentum=0.9)
+        resumed.load_state_dict(opt.state_dict())
+        run_steps(resumed, param, 4)
+        np.testing.assert_array_equal(param.data, ref_param.data)
+
+    def test_rejects_name_mismatch(self):
+        _, opt = self._trained_adam()
+        snapshot = opt.state_dict()
+        other = Adam([("different", Parameter(np.zeros(3)))], lr=0.1)
+        with pytest.raises(ConfigError, match="missing.*different.*unexpected.*w"):
+            other.load_state_dict(snapshot)
+
+    def test_rejects_shape_mismatch(self):
+        _, opt = self._trained_adam()
+        snapshot = opt.state_dict()
+        other = Adam([("w", Parameter(np.zeros(7)))], lr=0.1)
+        with pytest.raises(ConfigError, match="shape"):
+            other.load_state_dict(snapshot)
+
+    def test_rejects_slot_mismatch(self):
+        _, opt = self._trained_adam()
+        sgd = SGD([("w", Parameter(np.zeros(3)))], lr=0.1, momentum=0.9)
+        with pytest.raises(ConfigError, match="slots"):
+            sgd.load_state_dict(opt.state_dict())
+
+    def test_load_casts_to_live_buffer_dtype(self):
+        _, opt = self._trained_adam()
+        snapshot = opt.state_dict()
+        snapshot["slots"]["m"]["w"] = snapshot["slots"]["m"]["w"].astype(np.float32)
+        opt.load_state_dict(snapshot)
+        assert opt._m["w"].dtype == np.float64
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigError, match="duplicate"):
+            SGD([("w", Parameter(np.zeros(1))), ("w", Parameter(np.zeros(1)))], lr=0.1)
+
+
 class TestClip:
     def test_returns_norm(self):
         param = Parameter(np.zeros(3))
