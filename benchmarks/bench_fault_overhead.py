@@ -1,0 +1,155 @@
+"""No-fault overhead gate for the fault-tolerance layer.
+
+The retry/timeout machinery of :class:`repro.core.parallel.WorkerPool`
+replaces the legacy ``executor.map`` dispatch with per-shard futures, and
+:func:`repro.faults.check` sits on every shard's hot path.  Both must be
+free when nothing goes wrong:
+
+* ``bench_fault_overhead`` -- the instrumented submit-based dispatch
+  (default ``max_shard_retries=2``) is timed against the legacy fast path
+  (``max_shard_retries=0``, no timeout, no faults armed) on the *same warm
+  pool*, interleaved, and gated at :data:`OVERHEAD_CEILING` x.  Both paths
+  must also produce bit-identical trajectories.
+* ``bench_fault_check_disarmed`` -- a disarmed ``faults.check`` call is a
+  single global-flag read; its cost is recorded and gated at
+  :data:`CHECK_CEILING_NS` nanoseconds.
+
+Results land in the ``fault_overhead`` section of ``BENCH_dispatch.json``
+so future PRs can diff the trend instead of re-deriving it from logs.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from _artifacts import write_bench_artifact
+from repro import faults
+from repro.core import TGAEModel, WorkerPool, fast_config, train_tgae
+
+#: Instrumented dispatch may cost at most this multiple of the legacy
+#: ``executor.map`` fast path when no fault fires (ISSUE gate: 1.05x).
+OVERHEAD_CEILING = 1.05
+
+#: A disarmed ``faults.check`` must stay below this many nanoseconds per
+#: call (measured ~60ns on the reference container; the gate is generous
+#: because shared CI runners jitter).
+CHECK_CEILING_NS = 1_000
+
+#: Interleaved timing repeats per dispatch arm.  The *minimum* of each arm
+#: is compared: on a shared 1-core runner the min is the estimator least
+#: contaminated by scheduler noise, and the systematic cost of the futures
+#: bookkeeping is exactly what survives in it.
+REPEATS = 7
+
+
+def _train(observed, config, workers, pool):
+    model = TGAEModel(observed.num_nodes, observed.num_timestamps, config)
+    history = train_tgae(model, observed, config, workers=workers, pool=pool)
+    return history, model.state_dict()
+
+
+def bench_fault_overhead():
+    """Submit-based dispatch with idle fault machinery: <= 1.05x legacy map."""
+    from repro.datasets import communication_network
+
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+    observed = communication_network(120, 900, 4, seed=2)
+    # Many small shards: dispatch bookkeeping is a measurable share of the
+    # epoch, so the gate actually constrains the futures machinery.
+    config = fast_config(
+        epochs=2,
+        num_initial_nodes=24,
+        candidate_limit=12,
+        train_shard_size=4,
+        seed=4,
+    )
+    assert not faults.active(), "fault rules must be disarmed for this gate"
+
+    pool = WorkerPool(workers, backend="process", max_shard_retries=2)
+    fast_times, instrumented_times = [], []
+    with pool:
+        _train(observed, config, workers, pool)  # warm workers + segments
+
+        def timed(retries):
+            pool.max_shard_retries = retries
+            start = time.perf_counter()
+            run = _train(observed, config, workers, pool)
+            return time.perf_counter() - start, run
+
+        for _ in range(REPEATS):
+            seconds, fast_run = timed(0)           # legacy map fast path
+            fast_times.append(seconds)
+            seconds, instrumented_run = timed(2)   # submit path, retry-ready
+            instrumented_times.append(seconds)
+        health = pool.health
+
+    fast_history, fast_state = fast_run
+    instr_history, instr_state = instrumented_run
+    assert fast_history.losses == instr_history.losses, (
+        "instrumented dispatch changed the loss trajectory"
+    )
+    for name in fast_state:
+        assert np.array_equal(fast_state[name], instr_state[name]), (
+            f"instrumented dispatch changed final weights at {name!r}"
+        )
+    assert health["retries"] == 0 and health["degrades"] == [], (
+        f"no-fault run recorded incidents: {health}"
+    )
+
+    fast_s = min(fast_times)
+    instrumented_s = min(instrumented_times)
+    ratio = instrumented_s / fast_s
+    print(
+        f"\n=== fault-layer overhead @ n={observed.num_nodes}, "
+        f"workers={workers}, {config.epochs} epochs x{REPEATS} ===\n"
+        f"legacy map:   {fast_s:6.3f}s min\n"
+        f"instrumented: {instrumented_s:6.3f}s min  -> {ratio:.3f}x "
+        f"(ceiling {OVERHEAD_CEILING}x)"
+    )
+    assert ratio <= OVERHEAD_CEILING, (
+        f"fault-tolerant dispatch costs {ratio:.3f}x the legacy fast path; "
+        f"ceiling is {OVERHEAD_CEILING}x"
+    )
+    write_bench_artifact(
+        "BENCH_dispatch.json",
+        "fault_overhead",
+        {
+            "workers": workers,
+            "epochs": config.epochs,
+            "repeats": REPEATS,
+            "fast_path_seconds": round(fast_s, 4),
+            "instrumented_seconds": round(instrumented_s, 4),
+            "overhead_ratio": round(ratio, 4),
+            "ceiling": OVERHEAD_CEILING,
+            "bit_identical": True,
+        },
+    )
+
+
+def bench_fault_check_disarmed():
+    """A disarmed faults.check is one global read -- nanoseconds, gated."""
+    faults.clear()
+    calls = 200_000
+    check = faults.check
+    start = time.perf_counter()
+    for _ in range(calls):
+        check("shard", index=3, attempt=0)
+    per_call_ns = (time.perf_counter() - start) / calls * 1e9
+    print(
+        f"\ndisarmed faults.check: {per_call_ns:.0f} ns/call "
+        f"(ceiling {CHECK_CEILING_NS} ns)"
+    )
+    assert per_call_ns <= CHECK_CEILING_NS, (
+        f"disarmed faults.check costs {per_call_ns:.0f}ns; "
+        f"ceiling {CHECK_CEILING_NS}ns"
+    )
+    write_bench_artifact(
+        "BENCH_dispatch.json",
+        "fault_check_disarmed",
+        {
+            "calls": calls,
+            "ns_per_call": round(per_call_ns, 1),
+            "ceiling_ns": CHECK_CEILING_NS,
+        },
+    )

@@ -44,10 +44,13 @@ from .base import TemporalGraphGenerator
 from .errors import (
     ConfigError,
     DatasetError,
+    DegradeWarning,
+    FaultInjected,
     GenerationError,
     GradientError,
     GraphFormatError,
     NotFittedError,
+    PoolError,
     ReproError,
     ShapeError,
 )
@@ -66,5 +69,8 @@ __all__ = [
     "DatasetError",
     "GenerationError",
     "NotFittedError",
+    "PoolError",
+    "FaultInjected",
+    "DegradeWarning",
     "__version__",
 ]

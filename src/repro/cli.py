@@ -145,6 +145,23 @@ def _add_config(parser: argparse.ArgumentParser) -> None:
         "segments (float32 = fast production default; float64 = the "
         "bit-reproducible golden path)",
     )
+    parser.add_argument(
+        "--max-shard-retries",
+        type=int,
+        default=2,
+        help="in-rung re-dispatches of a shard that failed transiently "
+        "(OSError/pickling/worker crash) before the pool degrades one rung "
+        "down the shm->pickle->thread->sequential ladder; retried shards "
+        "are bit-identical (0 disables retries)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="per-shard wall-clock budget in seconds; a straggler past it "
+        "is re-dispatched (and, if it finishes anyway, bit-compared "
+        "against its replacement). default: no timeout",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> TGAEConfig:
@@ -162,6 +179,8 @@ def _config_from(args: argparse.Namespace) -> TGAEConfig:
         shm_dispatch=getattr(args, "shm_dispatch", True),
         checkpoint_attention=getattr(args, "checkpoint_attention", False),
         dtype=getattr(args, "dtype", "float32"),
+        max_shard_retries=getattr(args, "max_shard_retries", 2),
+        shard_timeout=getattr(args, "shard_timeout", None),
     )
 
 
@@ -187,12 +206,21 @@ def cmd_fit(args: argparse.Namespace) -> int:
             f"resuming {args.resume}: observed {generator.observed}, "
             f"{completed} epochs completed{cold}"
         )
-        generator.update(epochs=args.epochs, verbose=args.verbose)
+        generator.update(
+            epochs=args.epochs,
+            verbose=args.verbose,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.model if args.checkpoint_every else None,
+        )
     else:
         graph = _load_graph(args)
         print(f"observed: {graph}")
         generator = TGAEGenerator(_config_from(args)).fit(
-            graph, verbose=args.verbose, track_memory=args.verbose
+            graph,
+            verbose=args.verbose,
+            track_memory=args.verbose,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.model if args.checkpoint_every else None,
         )
     history = generator.history
     losses = history.losses
@@ -391,6 +419,14 @@ def build_parser() -> argparse.ArgumentParser:
         "starting over: runs --epochs more epochs on its stored graph, "
         "bit-identical to an uninterrupted run (format-v2 checkpoints; "
         "v1 resumes weights-only with a cold optimizer)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        help="crash-safe autosave cadence: atomically write the --model "
+        "checkpoint every N completed epochs, so an interrupted fit can be "
+        "continued bit-identically with --resume",
     )
     p.add_argument(
         "--verbose",

@@ -20,7 +20,7 @@ from .parallel import (
     shared_pool,
 )
 from .generator import TGAEGenerator
-from .persistence import load_generator, save_generator
+from .persistence import load_generator, save_generator, save_training_checkpoint
 from .loss import (
     adjacency_target_rows,
     reconstruction_loss,
@@ -44,6 +44,7 @@ from .variants import VARIANTS, tgae_full, tgae_g, tgae_n, tgae_p, tgae_t
 __all__ = [
     "save_generator",
     "load_generator",
+    "save_training_checkpoint",
     "TGAEConfig",
     "fast_config",
     "NO_TRUNCATION",

@@ -101,6 +101,20 @@ class TGAEConfig:
         a parameter version -- O(1) in model size.  Bit-identical to the
         pickled-payload path; ``False`` restores it (as does a platform
         without shared-memory support, automatically).
+    max_shard_retries:
+        How many times a persistent worker pool re-dispatches one shard
+        that failed with a transient error (``OSError``, pickling) or a
+        worker crash before degrading one rung down the dispatch ladder
+        (shm -> pickle -> thread -> sequential).  Retried shards are
+        bit-identical -- shards are pure functions of (task, seed child,
+        weights).  ``0`` disables in-rung retries (and restores the
+        zero-bookkeeping legacy dispatch when no timeout is set either).
+    shard_timeout:
+        Per-shard wall-clock budget in seconds for pooled dispatch;
+        a shard still running past it is counted a straggler and
+        re-dispatched (the abandoned original, should it finish, is
+        bit-compared against its replacement).  ``None`` (default)
+        disables timeouts.
     dtype:
         Floating-point policy for every model tensor: parameters,
         activations, losses, and the shared-memory parameter/feature
@@ -147,6 +161,8 @@ class TGAEConfig:
     parallel_backend: str = "process"
     train_shard_size: Optional[int] = None
     shm_dispatch: bool = True
+    max_shard_retries: int = 2
+    shard_timeout: Optional[float] = None
     checkpoint_attention: bool = False
     dtype: str = "float32"
     epochs: int = 30
@@ -181,6 +197,14 @@ class TGAEConfig:
         if self.train_shard_size is not None and self.train_shard_size < 1:
             raise ConfigError(
                 f"train_shard_size must be >= 1 when set, got {self.train_shard_size}"
+            )
+        if self.max_shard_retries < 0:
+            raise ConfigError(
+                f"max_shard_retries must be >= 0, got {self.max_shard_retries}"
+            )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ConfigError(
+                f"shard_timeout must be positive when set, got {self.shard_timeout}"
             )
         if self.parallel_backend not in ("process", "thread"):
             raise ConfigError(

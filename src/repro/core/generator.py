@@ -12,7 +12,7 @@ dense node x node array is ever materialised outside tests).
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -98,6 +98,8 @@ class TGAEGenerator(TemporalGraphGenerator):
         node_features: Optional[np.ndarray] = None,
         verbose: bool = False,
         track_memory: bool = False,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[Any] = None,
     ):
         """Fit on a temporal graph, optionally with external node features.
 
@@ -105,7 +107,9 @@ class TGAEGenerator(TemporalGraphGenerator):
         (per-snapshot ``X^{(t)}``); when omitted the paper's default
         node-identity features are used.  ``verbose`` prints one line per
         epoch; ``track_memory`` records per-epoch tracemalloc peaks into
-        :attr:`history` (see :func:`~repro.core.trainer.train_tgae`).
+        :attr:`history`; ``checkpoint_every``/``checkpoint_path`` autosave
+        an atomically-written resume checkpoint every N epochs (see
+        :func:`~repro.core.trainer.train_tgae`).
         """
         self._node_features = (
             np.asarray(node_features, dtype=self.config.np_dtype)
@@ -114,6 +118,7 @@ class TGAEGenerator(TemporalGraphGenerator):
         )
         self._fit_verbose = verbose
         self._fit_track_memory = track_memory
+        self._fit_checkpoint = (checkpoint_every, checkpoint_path)
         return super().fit(graph)
 
     # ------------------------------------------------------------------
@@ -130,11 +135,16 @@ class TGAEGenerator(TemporalGraphGenerator):
         )
         if self._node_features is not None:
             self.model.encoder.set_external_features(self._node_features)
+        checkpoint_every, checkpoint_path = getattr(
+            self, "_fit_checkpoint", (None, None)
+        )
         self.history = train_tgae(
             self.model, graph, self.config,
             verbose=getattr(self, "_fit_verbose", False),
             track_memory=getattr(self, "_fit_track_memory", False),
             pool=self._active_pool(),
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
         )
         self.train_state = self.history.state
 
@@ -146,6 +156,8 @@ class TGAEGenerator(TemporalGraphGenerator):
         new_edges: Optional[EdgeBatch] = None,
         epochs: Optional[int] = None,
         verbose: bool = False,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_path: Optional[Any] = None,
     ) -> "TGAEGenerator":
         """Append observed edges and warm-start training from the current state.
 
@@ -188,6 +200,8 @@ class TGAEGenerator(TemporalGraphGenerator):
             verbose=verbose,
             pool=self._active_pool(),
             resume_from=self.train_state,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
         )
         self.train_state = self.history.state
         return self
@@ -228,7 +242,11 @@ class TGAEGenerator(TemporalGraphGenerator):
             if pool is not None and not pool.closed:
                 pool.close()
             self._pool = pool = WorkerPool(
-                workers, backend, shm_dispatch=self.config.shm_dispatch
+                workers,
+                backend,
+                shm_dispatch=self.config.shm_dispatch,
+                max_shard_retries=self.config.max_shard_retries,
+                shard_timeout=self.config.shard_timeout,
             )
         return pool
 

@@ -48,10 +48,24 @@ bumping a version counter -- no re-pickle, no executor rebuild.  Segments
 are fingerprint-keyed: the graph/config/shape *structure* token decides when
 workers must be rebuilt, while weight-only changes ride the in-place update
 path.  The pool owns the segments and unlinks them on :meth:`WorkerPool.close`
-(and on degrade-to-threads, worker crash, or interpreter exit); teardown is
+(and on degrade, worker crash, or interpreter exit); teardown is
 idempotent and safe to run from ``atexit``.  ``shm_dispatch=False`` (or
 ``TGAEConfig(shm_dispatch=False)``) restores the plain pickled-payload
 dispatch.
+
+Fault tolerance
+---------------
+
+Every shard is a pure function of (task, seed-sequence child, weights), so
+recovery never risks the bit-identity contract.  Within a rung a persistent
+pool retries transient shard failures (bounded, exponential backoff),
+re-dispatches stragglers that exceed ``shard_timeout``, and rebuilds a
+process executor whose worker crashed (the parent-owned segments survive).
+When a rung is exhausted the pool steps down the degradation ladder
+``shm -> pickle -> thread -> sequential`` -- permanently and loudly, one
+:class:`~repro.errors.DegradeWarning` per step -- with counters exposed on
+:attr:`WorkerPool.health`.  All of it is provoked deterministically in tests
+through :mod:`repro.faults`.
 """
 
 from __future__ import annotations
@@ -64,22 +78,26 @@ import os
 import pickle
 import queue
 import threading
+import time
 import warnings
 import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from functools import partial
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ConfigError
+from .. import faults
+from ..errors import ConfigError, DegradeWarning, PoolError
 from ..graph.temporal_graph import TemporalGraph
 from .config import TGAEConfig
 
 __all__ = [
     "BACKENDS",
+    "LADDER",
     "SharedArrayStore",
     "ShmArraySpec",
     "ShmHandle",
@@ -97,11 +115,38 @@ __all__ = [
 #: Supported executor backends, in order of preference.
 BACKENDS = ("process", "thread")
 
-#: Pool-infrastructure failures that trigger the loud thread-backend retry.
+#: Pool-infrastructure failures that trigger the loud degradation ladder.
 _POOL_FAILURES = (OSError, BrokenProcessPool, pickle.PicklingError)
+
+#: Shard-level errors worth a bounded in-rung retry before degrading.
+#: Deliberately narrower than ``_POOL_FAILURES``: a ``BrokenProcessPool``
+#: needs an executor rebuild, not a plain resubmit.
+_RETRYABLE_TASK_ERRORS = (OSError, pickle.PicklingError)
 
 #: Byte alignment of arrays inside a shared segment (cache-line friendly).
 _SHM_ALIGN = 64
+
+#: The degradation ladder, fastest rung first.  A persistent pool starts on
+#: the highest rung its configuration allows and only ever moves down.
+LADDER = ("shm", "pickle", "thread", "sequential")
+
+
+class _RungExhausted(Exception):
+    """Internal: one shard burned through ``max_shard_retries`` on a rung.
+
+    Carries the final underlying error so :meth:`WorkerPool.run` can report
+    it in the :class:`~repro.errors.DegradeWarning` for the next rung down.
+    Never escapes :class:`WorkerPool`.
+    """
+
+    def __init__(self, shard: Optional[int], cause: BaseException) -> None:
+        super().__init__(str(cause))
+        self.shard = shard
+        self.cause = cause
+
+
+#: What the ladder in :meth:`WorkerPool.run` catches before stepping down.
+_RUNG_FAILURES = (_RungExhausted,) + _POOL_FAILURES
 
 
 @dataclass(frozen=True)
@@ -190,6 +235,11 @@ class SharedArrayStore:
     def __init__(self, arrays: Mapping[str, np.ndarray]) -> None:
         from multiprocessing import shared_memory
 
+        # Assigned before anything that can fail: close() / __del__ on a
+        # half-constructed store must be a clean no-op, not an AttributeError.
+        self._shm: Optional[Any] = None
+        self._owner_pid = os.getpid()
+        faults.check("shm-create")
         specs: List[ShmArraySpec] = []
         contiguous: Dict[str, np.ndarray] = {}
         offset = 0
@@ -200,8 +250,7 @@ class SharedArrayStore:
             specs.append(ShmArraySpec(key, arr.dtype.str, tuple(arr.shape), offset))
             offset += arr.nbytes
         size = max(offset, 1)
-        self._owner_pid = os.getpid()
-        self._shm: Optional[Any] = shared_memory.SharedMemory(create=True, size=size)
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
         self.handle = ShmHandle(self._shm.name, size, tuple(specs))
         self._spec_by_key = {spec.key: spec for spec in specs}
         for key, arr in contiguous.items():
@@ -250,7 +299,7 @@ class SharedArrayStore:
         shutdown.  A forked child closes its mapping but never unlinks the
         owner's segment.
         """
-        shm = self._shm
+        shm = getattr(self, "_shm", None)
         if shm is None:
             return
         self._shm = None
@@ -258,7 +307,7 @@ class SharedArrayStore:
             shm.close()
         except Exception:
             pass
-        if os.getpid() != self._owner_pid:
+        if os.getpid() != getattr(self, "_owner_pid", -1):
             return
         try:
             shm.unlink()
@@ -266,7 +315,12 @@ class SharedArrayStore:
             pass
 
     def __del__(self) -> None:
-        self.close()
+        # ``__del__`` can run on a store whose __init__ raised, and runs
+        # again after an explicit close(); both must stay silent no-ops.
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 def attach_shared_arrays(handle: ShmHandle) -> Tuple[Any, Dict[str, np.ndarray]]:
@@ -278,6 +332,7 @@ def attach_shared_arrays(handle: ShmHandle) -> Tuple[Any, Dict[str, np.ndarray]]
     """
     from multiprocessing import shared_memory
 
+    faults.check("shm-attach")
     shm = shared_memory.SharedMemory(name=handle.segment)
     views: Dict[str, np.ndarray] = {}
     for spec in handle.specs:
@@ -521,12 +576,18 @@ def _run_on(engine: Any, kind: str, task: Any) -> Any:
     raise ValueError(f"unknown sharded task kind {kind!r}")
 
 
-def _run_remote(kind: str, task: Any) -> Any:
+def _shard_index(task: Any) -> Optional[int]:
+    """The shard index a task carries, for fault-rule matching."""
+    return getattr(task, "index", None)
+
+
+def _run_remote(kind: str, task: Any, attempt: int = 0) -> Any:
     """Module-level trampoline executed inside pool worker processes."""
+    faults.check("shard", index=_shard_index(task), attempt=attempt)
     return _run_on(_WORKER_ENGINE, kind, task)
 
 
-def _run_remote_shm(kind: str, version: int, task: Any) -> Any:
+def _run_remote_shm(kind: str, version: int, task: Any, attempt: int = 0) -> Any:
     """Shm-dispatch trampoline: refresh weights from the segment when stale.
 
     ``version`` advances whenever the parent rewrote the parameter segment;
@@ -534,6 +595,7 @@ def _run_remote_shm(kind: str, version: int, task: Any) -> Any:
     costs one weight copy per worker, not per shard.
     """
     global _WORKER_PARAM_VERSION
+    faults.check("shard", index=_shard_index(task), attempt=attempt)
     engine = _WORKER_ENGINE
     if engine is None:
         raise RuntimeError("worker engine was not initialised")
@@ -543,6 +605,12 @@ def _run_remote_shm(kind: str, version: int, task: Any) -> Any:
         engine.model.load_state_dict(dict(_WORKER_PARAM_VIEWS))
         _WORKER_PARAM_VERSION = version
     return _run_on(engine, kind, task)
+
+
+def _checked(execute: Callable[[Any], Any], task: Any, attempt: int) -> Any:
+    """Thread/sequential-rung shard wrapper: fault check, then execution."""
+    faults.check("shard", index=_shard_index(task), attempt=attempt)
+    return execute(task)
 
 
 def _prewarm_graph(graph: TemporalGraph) -> None:
@@ -647,13 +715,19 @@ class WorkerPool:
             graph_b = engine.generate(rng_b, pool=pool)
 
     or through the owning objects: :meth:`repro.core.TGAEGenerator.worker_pool`
-    and ``train_tgae(..., workers=N)`` manage a pool for you.  The process
-    backend degrades to threads (loudly, once) when the platform cannot run
-    process pools (``backend`` then reports the effective backend,
-    ``requested_backend`` the original); results are bit-identical either
-    way, and any shared segments are unlinked at the moment of degradation.
-    Concurrent ``run()`` calls from different threads serialise on the
-    pool's internal lock.
+    and ``train_tgae(..., workers=N)`` manage a pool for you.  When a rung
+    of the dispatch ladder cannot run (no POSIX semaphores, crashed and
+    unrebuildable workers, restricted sandbox) the pool steps down
+    ``shm -> pickle -> thread -> sequential`` -- loudly, one
+    :class:`~repro.errors.DegradeWarning` per step (``backend`` then
+    reports the effective backend, ``requested_backend`` the original,
+    :attr:`rung` the active rung); results are bit-identical on every rung,
+    and any shared segments are unlinked at the moment of degradation.
+    Transient per-shard failures are retried in place (``max_shard_retries``,
+    exponential backoff) and stragglers re-dispatched (``shard_timeout``)
+    before any degrade; :attr:`health` reports the counters.  Concurrent
+    ``run()`` calls from different threads serialise on the pool's internal
+    lock.
     """
 
     _ids = itertools.count()
@@ -664,14 +738,33 @@ class WorkerPool:
         backend: str = "process",
         shm_dispatch: bool = True,
         track_dispatch: bool = False,
+        max_shard_retries: int = 2,
+        shard_timeout: Optional[float] = None,
+        retry_backoff: float = 0.05,
     ) -> None:
+        #: Assigned before any validation so close()/__del__ on a pool whose
+        #: __init__ raised stays a clean no-op.
+        self.closed = True
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         if backend not in BACKENDS:
             raise ConfigError(
                 f"parallel backend must be one of {BACKENDS}, got {backend!r}"
             )
+        if max_shard_retries < 0:
+            raise ConfigError(
+                f"max_shard_retries must be >= 0, got {max_shard_retries}"
+            )
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise ConfigError(
+                f"shard_timeout must be positive (or None), got {shard_timeout}"
+            )
+        if retry_backoff < 0:
+            raise ConfigError(f"retry_backoff must be >= 0, got {retry_backoff}")
         self.workers = workers
+        self.max_shard_retries = int(max_shard_retries)
+        self.shard_timeout = shard_timeout
+        self.retry_backoff = float(retry_backoff)
         self.backend = backend
         self.requested_backend = backend
         self.shm_dispatch = bool(shm_dispatch)
@@ -688,8 +781,22 @@ class WorkerPool:
             "payload_publishes": 0,
             "param_updates": 0,
         }
+        #: Robustness counters surfaced through :attr:`health`.
+        self._health: Dict[str, Any] = {
+            "retries": 0,
+            "timeouts": 0,
+            "redispatches": 0,
+            "worker_crashes": 0,
+            "stragglers_verified": 0,
+            "degrades": [],
+        }
+        #: Final ladder rung: no executor at all, shards run in-process.
+        self._sequential = False
         self._owner_pid = os.getpid()
         self._executor: Optional[ProcessPoolExecutor] = None
+        #: ``(initializer, payload)`` behind the live process executor, kept
+        #: so a broken executor can be rebuilt against surviving segments.
+        self._active_payload: Optional[Tuple[Callable[..., None], Any]] = None
         self._token: Optional[str] = None
         self._thread_executor: Optional[ThreadPoolExecutor] = None
         self._replicas: Optional[List[Any]] = None
@@ -717,14 +824,45 @@ class WorkerPool:
     def needs_inline_state(self) -> bool:
         """Whether training tasks must carry the weights inline.
 
-        ``False`` on the thread backend (replicas are refreshed from the
-        live model) and under shm dispatch (weights ride the shared
-        parameter segment); ``True`` only for the plain process backend,
-        where each task message must ship the current ``state_dict``.
+        ``False`` on the thread and sequential rungs (replicas / the live
+        engine are refreshed from the live model) and under shm dispatch
+        (weights ride the shared parameter segment); ``True`` only for the
+        plain pickle process rung, where each task message must ship the
+        current ``state_dict``.
         """
-        if self.backend == "thread":
+        if self._sequential or self.backend == "thread":
             return False
         return not self.shm_active
+
+    @property
+    def rung(self) -> str:
+        """The degradation-ladder rung dispatch currently uses (see ``LADDER``)."""
+        return self._rung_locked()
+
+    @property
+    def health(self) -> Dict[str, Any]:
+        """A structured operational report: rung, knobs, fault counters.
+
+        ``degrades`` lists every ladder step taken (e.g. ``"shm->pickle"``)
+        in order; ``retries`` / ``timeouts`` / ``redispatches`` /
+        ``worker_crashes`` count recovered incidents, and
+        ``stragglers_verified`` counts abandoned originals that finished
+        anyway and were bit-compared against their re-dispatched twin.
+        """
+        report: Dict[str, Any] = {
+            "pool_id": self.pool_id,
+            "rung": self.rung,
+            "backend": self.backend,
+            "requested_backend": self.requested_backend,
+            "workers": self.workers,
+            "runs": self.runs,
+            "closed": self.closed,
+            "max_shard_retries": self.max_shard_retries,
+            "shard_timeout": self.shard_timeout,
+        }
+        for key, value in self._health.items():
+            report[key] = list(value) if isinstance(value, list) else value
+        return report
 
     def shm_segments(self) -> Tuple[str, ...]:
         """Names of the currently published shared segments (tests/debug)."""
@@ -748,13 +886,24 @@ class WorkerPool:
         ``collector`` (an object with ``add(result)`` and ``reset()``),
         results are *streamed* into it in task order as workers finish --
         the consumer's merge work overlaps the remaining shards' compute.
-        If the process backend fails mid-stream, the collector is reset and
-        every task re-runs on the thread backend, so partially-consumed
-        results can never be double-counted (re-running is safe: each
-        task's draws come from its own seed-sequence child).
+
+        Failure handling is layered.  *Within* a rung, a shard that dies
+        with a transient error (``OSError``/pickling) is retried up to
+        ``max_shard_retries`` times with exponential backoff, a shard that
+        exceeds ``shard_timeout`` seconds is re-dispatched (the abandoned
+        straggler, if it ever finishes, is bit-compared against its
+        replacement), and a crashed worker gets the executor rebuilt
+        against the surviving shared segments.  Only when a rung is
+        *exhausted* does the pool step down the degradation ladder
+        shm -> pickle -> thread -> sequential -- permanently, loudly (one
+        :class:`~repro.errors.DegradeWarning` per step) and with the
+        collector reset so partially-consumed results can never be
+        double-counted.  Re-running is safe: each task's draws come from
+        its own seed-sequence child, so every recovery path is
+        bit-identical to the undisturbed run.
         """
         if self.closed:
-            raise RuntimeError(f"{self.pool_id} has been shut down")
+            raise PoolError(f"{self.pool_id} has been shut down")
         tasks = list(tasks)
         self.runs += 1
         if not tasks:
@@ -764,34 +913,19 @@ class WorkerPool:
                 _pickled_bytes(task) for task in tasks
             )
         if self.workers == 1 or len(tasks) == 1:
-            if collector is None:
-                return [_run_on(engine, kind, task) for task in tasks]
-            for task in tasks:
-                collector.add(_run_on(engine, kind, task))
-            return None
-        if self.backend == "thread":
-            return self._run_on_threads(engine, kind, tasks, collector)
-        try:
-            return self._run_on_processes(engine, kind, tasks, collector)
-        except _POOL_FAILURES as exc:
-            # Same loud degradation as the one-shot path -- but permanent,
-            # so a persistent pool does not retry a broken process backend
-            # on every call.  Shared segments are unlinked here: the thread
-            # backend reads the live engine directly.
-            if collector is not None:
-                collector.reset()
-            warnings.warn(
-                f"{self.pool_id}: process backend failed "
-                f"({type(exc).__name__}: {exc}); switching to the thread "
-                "backend for the remainder of this pool's life",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            self._shutdown_process_executor()
-            with self._lock:
-                self._release_stores_locked()
-            self.backend = "thread"
-            return self._run_on_threads(engine, kind, tasks, collector)
+            return self._run_sequential(engine, kind, tasks, collector)
+        while True:
+            try:
+                if self._sequential:
+                    return self._run_sequential(engine, kind, tasks, collector)
+                if self.backend == "thread":
+                    return self._run_on_threads(engine, kind, tasks, collector)
+                return self._run_on_processes(engine, kind, tasks, collector)
+            except _RUNG_FAILURES as exc:
+                cause = exc.cause if isinstance(exc, _RungExhausted) else exc
+                if collector is not None:
+                    collector.reset()
+                self._degrade(cause)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -815,37 +949,52 @@ class WorkerPool:
             self._structure_cache = (weakref.ref(engine), token)
         return token
 
+    def _fast_dispatch(self) -> bool:
+        """Whether the legacy map-based dispatch (no retry bookkeeping) applies.
+
+        Only when every robustness knob is off and no fault is armed: this
+        is the zero-overhead baseline ``benchmarks/bench_fault_overhead.py``
+        compares the instrumented path against.
+        """
+        return (
+            self.max_shard_retries == 0
+            and self.shard_timeout is None
+            and not faults.active()
+        )
+
     def _run_on_processes(
         self, engine: Any, kind: str, tasks: List[Any], collector: Optional[Any] = None
     ) -> Optional[List[Any]]:
         # The whole dispatch holds the lock so a concurrent run() with a
         # different payload token cannot swap the executor out from under
-        # this one's map -- concurrent callers serialise instead.
+        # this one -- concurrent callers serialise instead.
         with self._lock:
+            faults.check("dispatch")
             if self.shm_active:
-                return self._dispatch_shm_locked(engine, kind, tasks, collector)
-            token = self._token_for(engine, kind)
-            if self._executor is None or token != self._token:
-                self._shutdown_process_executor_locked()
-                payload = payload_from_engine(engine)
-                if self.track_dispatch:
-                    self.dispatch_stats["payload_bytes"] += _pickled_bytes(payload)
-                    self.dispatch_stats["payload_publishes"] += 1
-                self._executor = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    mp_context=_process_context(),
-                    initializer=_init_worker,
-                    initargs=(payload,),
-                )
-                self._token = token
-            return self._consume(
-                self._executor.map(partial(_run_remote, kind), tasks), collector
+                self._ensure_shm_executor_locked(engine, kind)
+                version = self._param_version
+
+                def submit(task: Any, attempt: int) -> Any:
+                    return self._executor.submit(
+                        _run_remote_shm, kind, version, task, attempt
+                    )
+
+                mapper: Any = partial(_run_remote_shm, kind, version)
+            else:
+                self._ensure_pickle_executor_locked(engine, kind)
+
+                def submit(task: Any, attempt: int) -> Any:
+                    return self._executor.submit(_run_remote, kind, task, attempt)
+
+                mapper = partial(_run_remote, kind)
+            if self._fast_dispatch():
+                return self._consume(self._executor.map(mapper, tasks), collector)
+            return self._consume_futures(
+                tasks, submit, self._rebuild_process_executor_locked, collector
             )
 
-    def _dispatch_shm_locked(
-        self, engine: Any, kind: str, tasks: List[Any], collector: Optional[Any]
-    ) -> Optional[List[Any]]:
-        """Dispatch through shared segments; caller holds ``self._lock``.
+    def _ensure_shm_executor_locked(self, engine: Any, kind: str) -> None:
+        """Make the shm executor current for ``engine``; caller holds the lock.
 
         The *structure* token (graph + config + parameter shapes) gates the
         expensive path -- executor rebuild and segment republish; a pure
@@ -859,12 +1008,7 @@ class WorkerPool:
             self._shutdown_process_executor_locked()
             self._release_stores_locked()
             payload = self._publish_engine_locked(engine)
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers,
-                mp_context=_process_context(),
-                initializer=_init_worker_shm,
-                initargs=(payload,),
-            )
+            self._start_process_executor_locked(_init_worker_shm, payload)
             self._token = structure
             self._param_token = None if kind == "train" else _state_token(engine)
         elif kind == "train":
@@ -875,12 +1019,177 @@ class WorkerPool:
             if state != self._param_token:
                 self._update_params_locked(engine)
                 self._param_token = state
-        return self._consume(
-            self._executor.map(
-                partial(_run_remote_shm, kind, self._param_version), tasks
-            ),
-            collector,
+
+    def _ensure_pickle_executor_locked(self, engine: Any, kind: str) -> None:
+        """Make the pickled-payload executor current; caller holds the lock."""
+        token = self._token_for(engine, kind)
+        if self._executor is None or token != self._token:
+            self._shutdown_process_executor_locked()
+            payload = payload_from_engine(engine)
+            if self.track_dispatch:
+                self.dispatch_stats["payload_bytes"] += _pickled_bytes(payload)
+                self.dispatch_stats["payload_publishes"] += 1
+            self._start_process_executor_locked(_init_worker, payload)
+            self._token = token
+
+    def _start_process_executor_locked(
+        self, initializer: Callable[..., None], payload: Any
+    ) -> None:
+        self._active_payload = (initializer, payload)
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=_process_context(),
+            initializer=initializer,
+            initargs=(payload,),
         )
+
+    def _rebuild_process_executor_locked(self) -> None:
+        """Replace a broken process executor in place; caller holds the lock.
+
+        A crashed worker poisons the whole ``ProcessPoolExecutor`` but not
+        the parent-owned shared segments or the cached initializer payload,
+        so the replacement pool re-attaches to what is already published.
+        (A stale payload ``version`` only costs each fresh worker one extra
+        weight reload -- task messages carry the current version.)
+        """
+        if self._active_payload is None:
+            raise RuntimeError(
+                f"{self.pool_id}: no payload cached to rebuild workers from"
+            )
+        if self._executor is not None:
+            try:
+                self._executor.shutdown(wait=False)
+            except Exception:
+                pass
+            self._executor = None
+        initializer, payload = self._active_payload
+        self._start_process_executor_locked(initializer, payload)
+
+    def _consume_futures(
+        self,
+        tasks: List[Any],
+        submit: Callable[[Any, int], Any],
+        rebuild: Optional[Callable[[], None]],
+        collector: Optional[Any],
+    ) -> Optional[List[Any]]:
+        """Submit every task, then consume results in task order with recovery.
+
+        The retry/timeout engine shared by the process and thread rungs.
+        Consuming in task order keeps the merge bit-identical and lets a
+        collector overlap with outstanding shards, exactly like the map
+        path it replaces; per-shard ``attempt`` numbers flow into the
+        workers so :mod:`repro.faults` rules can target (or spare) retries.
+        """
+        attempts = [0] * len(tasks)
+        futures = self._submit_all(tasks, attempts, submit, rebuild)
+        results: Optional[List[Any]] = [] if collector is None else None
+        for i in range(len(tasks)):
+            result = self._await_shard(i, tasks, futures, attempts, submit, rebuild)
+            if results is not None:
+                results.append(result)
+            else:
+                collector.add(result)
+        return results
+
+    def _submit_all(
+        self,
+        tasks: List[Any],
+        attempts: List[int],
+        submit: Callable[[Any, int], Any],
+        rebuild: Optional[Callable[[], None]],
+    ) -> List[Any]:
+        """Dispatch every shard, surviving a worker crash mid-submission.
+
+        A worker that dies while the parent is still submitting the rest of
+        the dispatch poisons the executor, so ``submit`` itself raises
+        ``BrokenProcessPool``; that is the same recoverable incident as a
+        crash surfaced through a future and takes the same rebuild path
+        (every shard re-dispatched at its next attempt number), not the
+        degradation ladder.
+        """
+        while True:
+            try:
+                return [submit(task, attempts[j]) for j, task in enumerate(tasks)]
+            except BrokenProcessPool as exc:
+                self._health["worker_crashes"] += 1
+                if rebuild is None:
+                    raise
+                for j in range(len(tasks)):
+                    self._bump_attempt(j, attempts, exc)
+                rebuild()
+
+    def _await_shard(
+        self,
+        i: int,
+        tasks: List[Any],
+        futures: List[Any],
+        attempts: List[int],
+        submit: Callable[[Any, int], Any],
+        rebuild: Optional[Callable[[], None]],
+    ) -> Any:
+        stale: List[Any] = []
+        while True:
+            try:
+                result = futures[i].result(timeout=self.shard_timeout)
+            except FuturesTimeout as exc:
+                # Straggler: abandon the in-flight future (it keeps running)
+                # and race a re-dispatch against it.
+                self._health["timeouts"] += 1
+                self._bump_attempt(i, attempts, exc)
+                self._health["redispatches"] += 1
+                stale.append(futures[i])
+                futures[i] = submit(tasks[i], attempts[i])
+            except BrokenProcessPool as exc:
+                # A worker died abruptly, poisoning the whole executor and
+                # every in-flight shard: rebuild it and re-dispatch all
+                # unconsumed shards at their next attempt number (which is
+                # what keeps an attempt-pinned crash rule from re-firing).
+                self._health["worker_crashes"] += 1
+                self._bump_attempt(i, attempts, exc)
+                if rebuild is None:
+                    raise
+                rebuild()
+                for j in range(i + 1, len(tasks)):
+                    attempts[j] += 1
+                for j in range(i, len(tasks)):
+                    futures[j] = submit(tasks[j], attempts[j])
+            except _RETRYABLE_TASK_ERRORS as exc:
+                self._health["retries"] += 1
+                self._bump_attempt(i, attempts, exc)
+                time.sleep(self.retry_backoff * (2 ** (attempts[i] - 1)))
+                futures[i] = submit(tasks[i], attempts[i])
+            else:
+                self._verify_stragglers(i, stale, result)
+                return result
+
+    def _bump_attempt(self, i: int, attempts: List[int], exc: BaseException) -> None:
+        attempts[i] += 1
+        if attempts[i] > self.max_shard_retries:
+            raise _RungExhausted(i, exc) from exc
+
+    def _verify_stragglers(self, index: int, stale: List[Any], result: Any) -> None:
+        """Bit-compare straggler results that finished despite re-dispatch.
+
+        Shards are pure functions of (task, seed child, weights), so an
+        abandoned original that completed anyway must equal its replacement
+        bit for bit; divergence means nondeterminism leaked in and is a
+        loud failure, never something to paper over.
+        """
+        for future in stale:
+            if (
+                not future.done()
+                or future.cancelled()
+                or future.exception() is not None
+            ):
+                continue
+            original = pickle.dumps(future.result(), protocol=pickle.HIGHEST_PROTOCOL)
+            replacement = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            if original != replacement:
+                raise PoolError(
+                    f"{self.pool_id}: re-dispatched shard {index} diverged from "
+                    "its abandoned straggler -- shards must be deterministic"
+                )
+            self._health["stragglers_verified"] += 1
 
     def _publish_engine_locked(self, engine: Any) -> ShmWorkerPayload:
         """Create fresh graph/parameter segments and the handle payload."""
@@ -917,6 +1226,7 @@ class WorkerPool:
     def _run_on_threads(
         self, engine: Any, kind: str, tasks: List[Any], collector: Optional[Any] = None
     ) -> Optional[List[Any]]:
+        faults.check("dispatch")
         _prewarm_graph(engine.graph)
         with self._lock:
             if self._thread_executor is None:
@@ -926,42 +1236,136 @@ class WorkerPool:
                 )
             executor = self._thread_executor
         if kind != "train":
-            return self._consume(
-                executor.map(lambda task: _run_on(engine, kind, task), tasks),
-                collector,
-            )
-        with self._lock:
-            token = self._token_for(engine, kind)
-            if self._replicas is None or token != self._replica_token:
-                self._replicas = _build_train_replicas(engine, self.workers)
-                self._replica_token = token
-            elif getattr(tasks[0], "state", None) is None:
-                # Tasks without inline weights expect workers to hold the
-                # *current* weights: refresh cached replicas from the live
-                # model (an exact copy, so the run stays bit-identical).
-                state = engine.model.state_dict()
+
+            def execute(task: Any) -> Any:
+                return _run_on(engine, kind, task)
+
+        else:
+            with self._lock:
+                token = self._token_for(engine, kind)
+                if self._replicas is None or token != self._replica_token:
+                    self._replicas = _build_train_replicas(engine, self.workers)
+                    self._replica_token = token
+                elif getattr(tasks[0], "state", None) is None:
+                    # Tasks without inline weights expect workers to hold the
+                    # *current* weights: refresh cached replicas from the live
+                    # model (an exact copy, so the run stays bit-identical).
+                    state = engine.model.state_dict()
+                    for replica in self._replicas:
+                        replica.model.load_state_dict(state)
+                replicas: "queue.SimpleQueue" = queue.SimpleQueue()
                 for replica in self._replicas:
-                    replica.model.load_state_dict(state)
-            replicas: "queue.SimpleQueue" = queue.SimpleQueue()
-            for replica in self._replicas:
-                replicas.put(replica)
+                    replicas.put(replica)
 
-        def run(task: Any) -> Any:
-            replica = replicas.get()
+            def execute(task: Any) -> Any:
+                replica = replicas.get()
+                try:
+                    return _run_on(replica, kind, task)
+                finally:
+                    replicas.put(replica)
+
+        if self._fast_dispatch():
+            return self._consume(executor.map(execute, tasks), collector)
+
+        def submit(task: Any, attempt: int) -> Any:
+            return executor.submit(_checked, execute, task, attempt)
+
+        # No rebuild callback: a thread pool has no crashed-worker mode.
+        return self._consume_futures(tasks, submit, None, collector)
+
+    def _run_sequential(
+        self, engine: Any, kind: str, tasks: List[Any], collector: Optional[Any]
+    ) -> Optional[List[Any]]:
+        """The bottom rung (and the ``workers=1`` path): a plain in-process loop.
+
+        Still retries transient per-shard errors, but there is nothing to
+        degrade to below it -- exhaustion raises
+        :class:`~repro.errors.PoolError` instead of stepping down.
+        """
+        results: Optional[List[Any]] = [] if collector is None else None
+        for task in tasks:
+            result = self._run_one_retrying(engine, kind, task)
+            if results is not None:
+                results.append(result)
+            else:
+                collector.add(result)
+        return results
+
+    def _run_one_retrying(self, engine: Any, kind: str, task: Any) -> Any:
+        attempt = 0
+        while True:
             try:
-                return _run_on(replica, kind, task)
-            finally:
-                replicas.put(replica)
+                return _checked(
+                    lambda t: _run_on(engine, kind, t), task, attempt
+                )
+            except _RETRYABLE_TASK_ERRORS as exc:
+                attempt += 1
+                self._health["retries"] += 1
+                if attempt > self.max_shard_retries:
+                    raise PoolError(
+                        f"{self.pool_id}: shard failed {attempt} attempts on the "
+                        f"sequential rung ({type(exc).__name__}: {exc})"
+                    ) from exc
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
 
-        return self._consume(executor.map(run, tasks), collector)
+    def _degrade(self, cause: BaseException) -> None:
+        """Step one rung down the ladder, releasing the failed rung's resources."""
+        with self._lock:
+            from_rung = self._rung_locked()
+            if from_rung == "shm":
+                # Keep the process backend, drop shared-memory dispatch:
+                # segments are unlinked *and* the weight version advanced
+                # (in _release_stores_locked) so a future republish can
+                # never hand workers a version they think they already have.
+                self._shutdown_process_executor_locked()
+                self._release_stores_locked()
+                self.shm_dispatch = False
+            elif from_rung == "pickle":
+                self._shutdown_process_executor_locked()
+                self._release_stores_locked()
+                self.backend = "thread"
+            elif from_rung == "thread":
+                if self._thread_executor is not None:
+                    self._thread_executor.shutdown(wait=True)
+                    self._thread_executor = None
+                self._sequential = True
+            else:
+                raise PoolError(
+                    f"{self.pool_id}: sequential execution failed "
+                    f"({type(cause).__name__}: {cause}); no rung left to degrade to"
+                ) from cause
+            to_rung = self._rung_locked()
+        self._health["degrades"].append(f"{from_rung}->{to_rung}")
+        warnings.warn(
+            f"{self.pool_id}: {from_rung} dispatch failed "
+            f"({type(cause).__name__}: {cause}); degrading {from_rung}->{to_rung} "
+            "for the remainder of this pool's life",
+            DegradeWarning,
+            stacklevel=3,
+        )
+
+    def _rung_locked(self) -> str:
+        if self._sequential:
+            return "sequential"
+        if self.backend == "thread":
+            return "thread"
+        return "shm" if self.shm_active else "pickle"
 
     # ------------------------------------------------------------------
     def _release_stores_locked(self) -> None:
-        """Unlink every published segment; caller must hold ``self._lock``."""
+        """Unlink every published segment; caller must hold ``self._lock``.
+
+        Also advances the weight-version counter past anything ever
+        dispatched: if the pool later republishes (a re-promote after a
+        degrade, a structure change), surviving or fresh workers can never
+        mistake the new segment's contents for a version they already
+        loaded and skip the reload.
+        """
         for store in self._stores.values():
             store.close()
         self._stores = {}
         self._param_token = None
+        self._param_version += 1
 
     def _shutdown_process_executor_locked(self) -> None:
         """Drop the process executor; caller must hold ``self._lock``."""
@@ -969,20 +1373,21 @@ class WorkerPool:
             self._executor.shutdown(wait=True)
             self._executor = None
             self._token = None
-
-    def _shutdown_process_executor(self) -> None:
-        with self._lock:
-            self._shutdown_process_executor_locked()
+        self._active_payload = None
 
     def close(self) -> None:
         """Shut down every executor, replica and shared segment.
 
-        Idempotent, safe from ``atexit`` and from forked children (a child
-        never tears down its parent's executors or unlinks the parent's
-        segments), and exception-free so interpreter-shutdown ordering can
-        never turn cleanup into a crash.  The pool becomes unusable.
+        Fully idempotent (double-close and ``__del__``-after-close are
+        no-ops by state, not by exception swallowing), safe from ``atexit``
+        and from forked children (a child never tears down its parent's
+        executors or unlinks the parent's segments), and exception-free so
+        interpreter-shutdown ordering can never turn cleanup into a crash.
+        The pool becomes unusable.
         """
-        if self.closed:
+        # getattr: __del__ may run on a pool whose __init__ raised before
+        # (or while) attributes were assigned; treat that as already closed.
+        if getattr(self, "closed", True):
             return
         self.closed = True
         if os.getpid() != self._owner_pid:
@@ -1014,12 +1419,19 @@ class WorkerPool:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
+    def __del__(self) -> None:
+        # Garbage collection of an unclosed pool must reap its segments;
+        # after an explicit close() (the normal case) this is a pure no-op.
+        try:
+            self.close()
+        except Exception:
+            pass
+
     def __repr__(self) -> str:
         state = "closed" if self.closed else "open"
-        shm = "shm" if self.shm_active else "pickle"
         return (
             f"WorkerPool(id={self.pool_id}, workers={self.workers}, "
-            f"backend={self.backend!r}, dispatch={shm}, runs={self.runs}, {state})"
+            f"backend={self.backend!r}, rung={self.rung}, runs={self.runs}, {state})"
         )
 
 
@@ -1102,7 +1514,7 @@ def run_sharded(
         warnings.warn(
             f"process-pool backend failed ({type(exc).__name__}: {exc}); "
             "retrying on the thread backend",
-            RuntimeWarning,
+            DegradeWarning,
             stacklevel=2,
         )
         return _run_threads(engine, kind, tasks, workers)

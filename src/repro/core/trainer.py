@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..errors import ConfigError
 from ..graph.ego_graph import sample_initial_nodes
 from ..graph.temporal_graph import TemporalGraph
@@ -240,6 +241,8 @@ def train_tgae(
     pool: Optional[WorkerPool] = None,
     track_memory: bool = False,
     resume_from: Optional[TrainingState] = None,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_path: Optional[Any] = None,
 ) -> TrainingHistory:
     """Optimise ``model`` on ``graph`` with the Eq. 7 mini-batch objective.
 
@@ -282,6 +285,15 @@ def train_tgae(
         position already pins the streams).  The model must already hold
         the weights the state was captured against (load the checkpoint
         first); ``resume_from`` itself carries only optimizer/RNG state.
+    checkpoint_every, checkpoint_path:
+        Crash-safe autosave: every ``checkpoint_every`` completed epochs the
+        full format-v2 checkpoint (weights, optimizer moments, RNG position,
+        loss lineage) is written *atomically* -- to a temp file first, then
+        an ``os.replace`` -- at ``checkpoint_path``, so a kill mid-fit can
+        never leave a torn file.  Reloading the checkpoint and resuming via
+        ``resume_from`` for the remaining epochs reproduces the final
+        weights bit for bit.  Both must be given together; the cadence must
+        be >= 1.
 
     Returns the loss/gradient/etc. history so callers (and tests) can verify
     the optimisation actually made progress; ``history.state`` is the
@@ -297,6 +309,14 @@ def train_tgae(
     if backend not in BACKENDS:
         raise ConfigError(
             f"parallel backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    if (checkpoint_every is None) != (checkpoint_path is None):
+        raise ConfigError(
+            "checkpoint_every and checkpoint_path must be given together"
+        )
+    if checkpoint_every is not None and checkpoint_every < 1:
+        raise ConfigError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
         )
     shard_size = _resolve_shard_size(config)
     if resume_from is not None:
@@ -333,7 +353,27 @@ def train_tgae(
     engine = GenerationEngine(model, graph, config)
     own_pool = pool is None and workers > 1
     if own_pool:
-        pool = WorkerPool(workers, backend, shm_dispatch=config.shm_dispatch)
+        pool = WorkerPool(
+            workers,
+            backend,
+            shm_dispatch=config.shm_dispatch,
+            max_shard_retries=config.max_shard_retries,
+            shard_timeout=config.shard_timeout,
+        )
+    prior_losses = list(resume_from.losses) if resume_from is not None else []
+    prior_norms = list(resume_from.grad_norms) if resume_from is not None else []
+
+    def capture_state(epochs_done: int) -> TrainingState:
+        """The lineage state as of ``epochs_done`` completed epochs."""
+        return TrainingState(
+            epoch=epochs_done,
+            optimizer=optimizer.state_dict(),
+            rng_entropy=rng_entropy,
+            rng_spawn_key=rng_spawn_key,
+            losses=prior_losses + list(history.losses),
+            grad_norms=prior_norms + list(history.grad_norms),
+        )
+
     started_tracing = False
     if track_memory and not tracemalloc.is_tracing():
         tracemalloc.start()
@@ -342,6 +382,9 @@ def train_tgae(
     try:
         for offset, epoch_seq in enumerate(epoch_seqs):
             epoch = start_epoch + offset
+            # Nemesis hook: an armed "epoch" rule (e.g. a simulated mid-fit
+            # kill) fires here, after the previous epoch's checkpoint.
+            faults.check("epoch", index=epoch)
             tick = time.perf_counter()
             if track_memory:
                 tracemalloc.reset_peak()
@@ -402,6 +445,12 @@ def train_tgae(
             history.epoch_seconds.append(time.perf_counter() - tick)
             peak = tracemalloc.get_traced_memory()[1] if track_memory else 0
             history.peak_memory_bytes.append(int(peak))
+            if checkpoint_every is not None and (offset + 1) % checkpoint_every == 0:
+                from .persistence import save_training_checkpoint
+
+                save_training_checkpoint(
+                    checkpoint_path, model, graph, config, capture_state(epoch + 1)
+                )
             if verbose:
                 memory = (
                     f"  peak={peak / 1e6:.1f}MB" if track_memory else ""
@@ -420,14 +469,5 @@ def train_tgae(
             tracemalloc.stop()
         if own_pool and pool is not None:
             pool.close()
-    prior_losses = list(resume_from.losses) if resume_from is not None else []
-    prior_norms = list(resume_from.grad_norms) if resume_from is not None else []
-    history.state = TrainingState(
-        epoch=total_epochs,
-        optimizer=optimizer.state_dict(),
-        rng_entropy=rng_entropy,
-        rng_spawn_key=rng_spawn_key,
-        losses=prior_losses + list(history.losses),
-        grad_norms=prior_norms + list(history.grad_norms),
-    )
+    history.state = capture_state(total_epochs)
     return history

@@ -38,3 +38,33 @@ class GenerationError(ReproError, RuntimeError):
 
 class NotFittedError(ReproError, RuntimeError):
     """A generator was asked to sample before :meth:`fit` was called."""
+
+
+class PoolError(ReproError, RuntimeError):
+    """A worker pool was misused or exhausted every recovery rung.
+
+    Raised when a closed :class:`~repro.core.parallel.WorkerPool` is asked
+    to run work, or when a shard failed on every rung of the degradation
+    ladder (shm -> pickle -> threads -> sequential) -- i.e. only after the
+    pool has genuinely nothing left to try.  Subclasses ``RuntimeError``
+    so pre-typed callers keep working.
+    """
+
+
+class FaultInjected(ReproError, RuntimeError):
+    """An armed :mod:`repro.faults` rule fired with this as its payload.
+
+    The nemesis suite raises it for faults that must *not* be absorbed by
+    retry/degrade machinery -- e.g. the simulated mid-fit kill that
+    crash-safe checkpointing recovers from.
+    """
+
+
+class DegradeWarning(RuntimeWarning):
+    """A worker pool stepped down one rung of its degradation ladder.
+
+    Emitted once per step (shm -> pickle -> threads -> sequential) with the
+    pool id, the rung transition and the triggering error, so operators can
+    ``warnings.filterwarnings`` on the category instead of string-matching
+    stderr.  Subclasses ``RuntimeWarning``: existing filters keep matching.
+    """

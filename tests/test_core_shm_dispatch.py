@@ -388,26 +388,25 @@ class TestShmTeardown:
         for name in set(segments_seen):
             assert not attachable(name)
 
-    def test_degrade_to_threads_releases_segments(self, observed):
-        """When the process backend dies, its segments die with it."""
+    def test_degrade_ladder_releases_segments(self, observed):
+        """When the shm rung dies, its segments die with it -- step by step.
+
+        A persistent dispatch-side fault walks the pool down the full
+        ladder: the shm rung's segments are unlinked at the first step,
+        the process backend is abandoned at the second, and the final run
+        on the thread rung still reproduces the exact trajectory.
+        """
+        from repro import faults
+
         pool = WorkerPool(2, backend="process", shm_dispatch=True)
         try:
             train_run(observed, workers=2, pool=pool, epochs=1)
             segments = pool.shm_segments()
             assert segments
-            # Simulate a broken process backend for the *next* run.
-            from concurrent.futures.process import BrokenProcessPool
-
-            class ExplodingExecutor:
-                def map(self, *args, **kwargs):
-                    raise BrokenProcessPool("injected worker crash")
-
-                def shutdown(self, wait=True):
-                    pass
-
-            pool._executor = ExplodingExecutor()
-            with pytest.warns(RuntimeWarning, match="switching to the thread"):
-                degraded = train_run(observed, workers=2, pool=pool, epochs=1)
+            with faults.inject("dispatch", exc=OSError, times=2):
+                with pytest.warns(RuntimeWarning, match="degrading"):
+                    degraded = train_run(observed, workers=2, pool=pool, epochs=1)
+            assert pool.health["degrades"] == ["shm->pickle", "pickle->thread"]
             assert pool.backend == "thread"
             assert pool.shm_segments() == ()
             for name in segments:
