@@ -138,6 +138,15 @@ def _add_config(parser: argparse.ArgumentParser) -> None:
         "are O(1) in model size, results are bit-identical either way)",
     )
     parser.add_argument(
+        "--no-embed-cache",
+        dest="embed_cache",
+        action="store_false",
+        help="disable the versioned inference embedding cache (on by "
+        "default: repeat generate/score calls against an unchanged model "
+        "reuse cached encoder embeddings and run decode-only; outputs are "
+        "bit-identical either way)",
+    )
+    parser.add_argument(
         "--dtype",
         default="float32",
         choices=["float32", "float64"],
@@ -177,6 +186,7 @@ def _config_from(args: argparse.Namespace) -> TGAEConfig:
         chunk_size=args.chunk_size,
         train_shard_size=getattr(args, "train_shard_size", None),
         shm_dispatch=getattr(args, "shm_dispatch", True),
+        embed_cache=getattr(args, "embed_cache", True),
         checkpoint_attention=getattr(args, "checkpoint_attention", False),
         dtype=getattr(args, "dtype", "float32"),
         max_shard_retries=getattr(args, "max_shard_retries", 2),
@@ -273,6 +283,8 @@ def cmd_generate(args: argparse.Namespace) -> int:
     generator = load_generator(args.model)
     if not getattr(args, "shm_dispatch", True):
         generator.config = dataclasses.replace(generator.config, shm_dispatch=False)
+    if not getattr(args, "embed_cache", True):
+        generator.config = dataclasses.replace(generator.config, embed_cache=False)
     workers = args.workers if args.workers is not None else generator.config.workers
     if workers > 1:
         # An explicit pool engages the persistent dispatch path (shared
@@ -484,6 +496,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_false",
         help="disable shared-memory worker dispatch for this generation "
         "(see `fit --no-shm-dispatch`)",
+    )
+    p.add_argument(
+        "--no-embed-cache",
+        dest="embed_cache",
+        action="store_false",
+        help="disable the versioned inference embedding cache for this "
+        "generation (see `fit --no-embed-cache`)",
     )
     p.set_defaults(fn=cmd_generate)
 

@@ -2,6 +2,13 @@
 
 from .config import NO_TRUNCATION, TGAEConfig, fast_config
 from .decoder import DecoderOutput, EgoGraphDecoder
+from .embed_cache import (
+    EMBED_TILE,
+    EmbeddingCache,
+    dirty_temporal_nodes,
+    graph_token,
+    weights_token,
+)
 from .encoder import TGAEEncoder
 from .engine import (
     GenerateChunkTask,
@@ -74,6 +81,11 @@ __all__ = [
     "close_shared_pools",
     "run_sharded",
     "TopKScores",
+    "EMBED_TILE",
+    "EmbeddingCache",
+    "dirty_temporal_nodes",
+    "graph_token",
+    "weights_token",
     "active_temporal_nodes",
     "sample_rows_without_replacement",
     "sample_without_replacement",

@@ -126,6 +126,15 @@ class TGAEConfig:
         ``score_topk`` rankings -- see ``tests/test_dtype_equivalence.py``);
         integer index arrays and the engine's internal float64 sampling
         scratch are unaffected.
+    embed_cache:
+        Versioned inference embedding cache (default ``True``): encoder
+        embeddings of temporal nodes are cached per ``(u, t)`` across
+        ``generate``/``score_topk`` calls, keyed by weights/graph
+        fingerprints, so repeat inference against an unchanged fitted
+        model is decode-only.  Outputs are bitwise identical with the
+        cache on or off (see :mod:`repro.core.embed_cache`); ``False``
+        re-encodes every call (lower resident memory, no cross-call
+        state).
     checkpoint_attention:
         Activation checkpointing for training: the TGAT layers free their
         per-edge activations (the O(batch * ego^2) tensors that dominate
@@ -163,6 +172,7 @@ class TGAEConfig:
     shm_dispatch: bool = True
     max_shard_retries: int = 2
     shard_timeout: Optional[float] = None
+    embed_cache: bool = True
     checkpoint_attention: bool = False
     dtype: str = "float32"
     epochs: int = 30
@@ -260,6 +270,10 @@ def fast_config(**overrides) -> TGAEConfig:
         epochs=8,
         learning_rate=1e-2,
         dtype=os.environ.get("REPRO_DTYPE", "float64"),
+        # REPRO_EMBED_CACHE=off sweeps the tier-1 suite over the uncached
+        # inference path (a dedicated CI matrix entry does), mirroring the
+        # REPRO_DTYPE policy sweep.
+        embed_cache=os.environ.get("REPRO_EMBED_CACHE", "on") != "off",
     )
     defaults.update(overrides)
     return TGAEConfig(**defaults)

@@ -24,7 +24,12 @@ memory model of O(E + n*C) instead of O(T * n^2):
   ``workers > 1``.  Because chunk streams depend only on the root seed and
   the chunk index -- never on execution order -- output is bit-identical
   for every worker count and backend, and ``workers=1`` is a plain
-  sequential loop over the same chunks.
+  sequential loop over the same chunks;
+* encoder embeddings flow through the versioned inference cache
+  (:mod:`repro.core.embed_cache`): public entry points prefill every
+  missing canonical tile once, chunks then decode straight from cached
+  rows, and repeat calls against unchanged weights/graph skip the encoder
+  entirely -- with outputs bitwise identical to the uncached path.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from ..errors import ConfigError, GenerationError
 from ..graph.temporal_graph import TemporalGraph
 from ..rng import seed_sequence, spawn_streams
 from .config import TGAEConfig
+from .embed_cache import EMBED_TILE, EmbeddingCache, graph_token, weights_token
 from .model import TGAEModel
 from .parallel import WorkerPool, run_sharded
 from .sampler import EgoGraphSampler
@@ -287,14 +293,136 @@ class GenerationEngine:
     config:
         The generator's hyper-parameters; ``candidate_limit > 0`` selects
         the streaming sampled-softmax path, ``0`` the exact dense decoder.
+    cache:
+        Optional :class:`~repro.core.embed_cache.EmbeddingCache` holding
+        per-``(u, t)`` encoder embeddings across calls (writable in the
+        parent, a read-only shared-memory attachment in pooled workers).
+        ``None`` disables persistence: the engine still encodes through
+        the same canonical tiles, just chunk-scoped — outputs are bitwise
+        identical either way.
     """
 
     def __init__(
-        self, model: TGAEModel, graph: TemporalGraph, config: TGAEConfig
+        self,
+        model: TGAEModel,
+        graph: TemporalGraph,
+        config: TGAEConfig,
+        cache: Optional[EmbeddingCache] = None,
     ) -> None:
         self.model = model
         self.graph = graph
         self.config = config
+        self.cache = cache
+        self._active: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+        self._weights_token: Optional[str] = None
+        self._graph_token: Optional[str] = None
+
+    def active_nodes(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached :func:`active_temporal_nodes` triple for this engine's graph.
+
+        The graph is immutable for an engine's lifetime (appends build a
+        new graph and a new engine), so the O(E log E) group-by runs once
+        instead of on every ``generate`` call.
+        """
+        if self._active is None:
+            self._active = active_temporal_nodes(self.graph)
+        return self._active
+
+    # ------------------------------------------------------------------
+    # Inference embeddings (canonical tiles + versioned cache)
+    # ------------------------------------------------------------------
+    def _cache_tokens(self) -> Tuple[str, str]:
+        """Current ``(weights, graph)`` fingerprints, memoised per call.
+
+        Public entry points reset :attr:`_weights_token` before dispatch so
+        in-place weight mutations are picked up once per call; per-chunk
+        consults then reuse the memo (workers reset it on parameter-version
+        reloads).  The graph token is constant for the engine's lifetime.
+        """
+        if self._weights_token is None:
+            self._weights_token = weights_token(self.model)
+        if self._graph_token is None:
+            self._graph_token = graph_token(
+                self.graph, self.config, self.model.encoder._external_features
+            )
+        return self._weights_token, self._graph_token
+
+    def _encode_tile_rows(self, tile_keys: np.ndarray) -> np.ndarray:
+        """Encode one canonical tile of universe keys (``u * T + t``).
+
+        The batch always consists of a full tile's consecutive keys in
+        ascending order (clipped only at the universe end), so its
+        composition — and therefore every BLAS kernel decision inside the
+        packed encoder — is a pure function of the graph size and the tile
+        index, never of which rows a request actually needed.  Combined
+        with the per-centre named truncation streams this makes tile
+        encodes bitwise reproducible, which is what lets cache hits, cold
+        encodes and cache-off runs agree exactly.
+        """
+        T = self.graph.num_timestamps
+        centers = np.stack([tile_keys // T, tile_keys % T], axis=1)
+        sampler = EgoGraphSampler(self.graph, self.config)
+        batch = sampler.inference_batch(centers)
+        return self.model.encode_inference(
+            batch.computation_batch(self.config.packed_batches)
+        )
+
+    def chunk_embeddings(self, centers: np.ndarray) -> np.ndarray:
+        """Embeddings for explicit ``(u, t)`` centres, cache-aware.
+
+        Hits are copied straight out of the cache; misses (or a disabled /
+        stale cache) encode the canonical tiles covering the missing keys
+        and, when the cache is writable, persist every tile row for later
+        calls.  Consumes no RNG.
+        """
+        centers = np.asarray(centers, dtype=np.int64)
+        T = self.graph.num_timestamps
+        keys = centers[:, 0] * np.int64(T) + centers[:, 1]
+        out = np.empty((keys.size, self.config.hidden_dim), dtype=self.config.np_dtype)
+        cache = self.cache
+        usable = cache is not None and cache.ensure(*self._cache_tokens())
+        if usable:
+            need = ~cache.fill(keys, out)
+        else:
+            need = np.ones(keys.size, dtype=bool)
+        if need.any():
+            num_rows = self.graph.num_nodes * T
+            for tile in np.unique(keys[need] // EMBED_TILE).tolist():
+                start = tile * EMBED_TILE
+                tile_keys = np.arange(
+                    start, min(start + EMBED_TILE, num_rows), dtype=np.int64
+                )
+                rows = self._encode_tile_rows(tile_keys)
+                if usable:
+                    cache.store(tile_keys, rows)
+                sel = need & (keys // EMBED_TILE == tile)
+                out[sel] = rows[keys[sel] - start]
+        return out
+
+    def warm_rows(self, keys: np.ndarray) -> None:
+        """Prefill the writable cache for ``keys`` before chunk fan-out.
+
+        Called at the top of every public inference entry point so pooled
+        dispatch is decode-only: the parent encodes each missing tile
+        exactly once, the shm layer mirrors the segment, and workers (or
+        threads) only ever *read*.  No-op without a writable cache.
+        """
+        cache = self.cache
+        if cache is None or not cache.writable:
+            return
+        self._weights_token = None
+        cache.ensure(*self._cache_tokens())
+        keys = np.unique(np.asarray(keys, dtype=np.int64))
+        missing = keys[~cache.valid[keys]]
+        if missing.size == 0:
+            return
+        num_rows = self.graph.num_nodes * self.graph.num_timestamps
+        for tile in np.unique(missing // EMBED_TILE).tolist():
+            start = tile * EMBED_TILE
+            tile_keys = np.arange(
+                start, min(start + EMBED_TILE, num_rows), dtype=np.int64
+            )
+            cache.store(tile_keys, self._encode_tile_rows(tile_keys))
 
     # ------------------------------------------------------------------
     # Candidate assembly (vectorised)
@@ -516,7 +644,7 @@ class GenerationEngine:
         executor (amortising startup over repeated calls).
         """
         graph = self.graph
-        centers_all, degrees, distinct_counts = active_temporal_nodes(graph)
+        centers_all, degrees, distinct_counts = self.active_nodes()
         total = centers_all.shape[0]
         chunk = self._resolve_chunk(chunk_size, total)
         workers = self._resolve_workers(workers)
@@ -535,6 +663,9 @@ class GenerationEngine:
             for i, start in enumerate(starts)
         ]
         self.model.eval()
+        self.warm_rows(
+            centers_all[:, 0] * np.int64(graph.num_timestamps) + centers_all[:, 1]
+        )
         results = run_sharded(
             self, "generate", tasks, workers=workers, backend=backend, pool=pool
         )
@@ -567,73 +698,84 @@ class GenerationEngine:
         if task.centers.shape[0] == 0:
             return empty, empty, empty
         rng = np.random.default_rng(task.seed_seq)
-        sampler = EgoGraphSampler(self.graph, self.config, rng)
         streaming = self.config.candidate_limit > 0
         part = task.centers
         part_deg = task.degrees
         part_distinct = task.distinct
-        src_out: List[np.ndarray] = []
-        dst_out: List[np.ndarray] = []
-        t_out: List[np.ndarray] = []
         with no_grad():
-            batch = sampler.inference_batch(part)
-            computation = batch.computation_batch(self.config.packed_batches)
+            # Canonical chunk stream: candidate assembly first, then the
+            # RNG-free embedding lookup/encode, then the Gumbel draw -- the
+            # order is identical whether every embedding row is a cache hit
+            # or a cold tile encode, so outputs cannot depend on cache state.
             if streaming:
                 cand, allowed = self.candidates_with_mask(
                     part, rng, min_distinct=part_distinct
                 )
-                decoded = self.model(computation, sample=False, candidates=cand)
-                probs = fold_duplicate_mass(
-                    cand, softmax(decoded.logits, axis=-1).numpy()
-                )
+            else:
+                cand = allowed = None
+            embeddings = self.chunk_embeddings(part)
+            decoded = self.model.decode_from_embeddings(
+                embeddings, part, candidates=cand
+            )
+            probs = softmax(decoded.logits, axis=-1).numpy()
+            if streaming:
+                probs = fold_duplicate_mass(cand, probs)
                 drawn = sample_rows_without_replacement(
                     probs, part_distinct, rng, allowed=allowed
                 )
             else:
-                cand = None
-                decoded = self.model(computation, sample=False)
-                probs = softmax(decoded.logits, axis=-1).numpy()
                 drawn = sample_rows_without_replacement(
                     probs, part_distinct, rng, forbid=part[:, 0]
                 )
+        # Vectorised edge assembly: one pass collects the per-row target
+        # pieces (preserving the historical per-row `rng.choice` call order
+        # for multi-edge repeats), then src/t come from a single np.repeat
+        # over the per-row counts instead of per-row np.full/concatenate.
+        out_counts = np.zeros(len(drawn), dtype=np.int64)
+        pieces: List[np.ndarray] = []
         for row, cols in enumerate(drawn):
             if cols.size == 0:
                 continue
-            node, timestamp = int(part[row, 0]), int(part[row, 1])
             targets = cand[row, cols] if cand is not None else cols
             extra = int(part_deg[row]) - targets.size
+            pieces.append(targets)
             if extra > 0:
                 # Multi-edges: repeat drawn targets proportionally to
                 # their decoded probabilities.
                 weight = probs[row][cols]
                 weight = weight / weight.sum() if weight.sum() > 0 else None
-                repeats = rng.choice(targets, size=extra, p=weight)
-                targets = np.concatenate([targets, repeats])
-            src_out.append(np.full(targets.size, node, dtype=np.int64))
-            dst_out.append(targets.astype(np.int64))
-            t_out.append(np.full(targets.size, timestamp, dtype=np.int64))
-        if not src_out:
+                pieces.append(rng.choice(targets, size=extra, p=weight))
+                out_counts[row] = targets.size + extra
+            else:
+                out_counts[row] = targets.size
+        if not pieces:
             return empty, empty, empty
         return (
-            np.concatenate(src_out),
-            np.concatenate(dst_out),
-            np.concatenate(t_out),
+            np.repeat(part[:, 0].astype(np.int64), out_counts),
+            np.concatenate(pieces).astype(np.int64),
+            np.repeat(part[:, 1].astype(np.int64), out_counts),
         )
 
     # ------------------------------------------------------------------
     # Score inspection
     # ------------------------------------------------------------------
-    def dense_score_rows(self, centers: np.ndarray, sampler: EgoGraphSampler) -> np.ndarray:
+    def dense_score_rows(
+        self, centers: np.ndarray, sampler: Optional[EgoGraphSampler] = None
+    ) -> np.ndarray:
         """Full softmax rows for explicit centres (test/debug helper).
 
         Always decodes against the whole node universe regardless of
         ``candidate_limit``; used by the small-graph score-matrix helper.
+        Embeddings come from the versioned cache when one is attached
+        (populating it on miss).  ``sampler`` is accepted for backwards
+        compatibility but unused: inference ego-graphs draw from named
+        per-centre streams, not a caller-provided generator.
         """
-        batch = sampler.inference_batch(centers)
+        centers = np.asarray(centers, dtype=np.int64)
+        self._weights_token = None
         with no_grad():
-            decoded = self.model(
-                batch.computation_batch(self.config.packed_batches), sample=False
-            )
+            embeddings = self.chunk_embeddings(centers)
+            decoded = self.model.decode_from_embeddings(embeddings, centers)
             return softmax(decoded.logits, axis=-1).numpy()
 
     def score_topk(
@@ -680,6 +822,15 @@ class GenerationEngine:
             for i, (timestamp, node_ids) in enumerate(specs)
         ]
         self.model.eval()
+        if specs:
+            self.warm_rows(
+                np.concatenate(
+                    [
+                        node_ids * np.int64(graph.num_timestamps) + np.int64(timestamp)
+                        for timestamp, node_ids in specs
+                    ]
+                )
+            )
         results = run_sharded(
             self, "topk", tasks, workers=workers, backend=backend, pool=pool
         )
@@ -713,24 +864,19 @@ class GenerationEngine:
         if node_ids.size == 0:
             return empty, empty, empty, np.array([], dtype=np.float64)
         rng = np.random.default_rng(task.seed_seq)
-        sampler = EgoGraphSampler(self.graph, self.config, rng)
         streaming = self.config.candidate_limit > 0
         part = np.stack([node_ids, np.full(node_ids.size, task.timestamp)], axis=1)
         with no_grad():
-            batch = sampler.inference_batch(part)
-            computation = batch.computation_batch(self.config.packed_batches)
+            cand = self.candidate_batch(part, rng) if streaming else None
+            embeddings = self.chunk_embeddings(part)
+            decoded = self.model.decode_from_embeddings(
+                embeddings, part, candidates=cand
+            )
+            probs = softmax(decoded.logits, axis=-1).numpy()
             if streaming:
-                cand = self.candidate_batch(part, rng)
-                decoded = self.model(computation, sample=False, candidates=cand)
                 # Fold duplicate-slot mass so each target appears once
                 # and the row remains a proper distribution.
-                probs = fold_duplicate_mass(
-                    cand, softmax(decoded.logits, axis=-1).numpy()
-                )
-            else:
-                cand = None
-                decoded = self.model(computation, sample=False)
-                probs = softmax(decoded.logits, axis=-1).numpy()
+                probs = fold_duplicate_mass(cand, probs)
         kk = min(task.k, probs.shape[1])
         top = np.argpartition(-probs, kk - 1, axis=1)[:, :kk]
         top_scores = np.take_along_axis(probs, top, axis=1)

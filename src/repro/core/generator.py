@@ -21,6 +21,7 @@ from ..errors import GenerationError, GraphFormatError, NotFittedError
 from ..graph.temporal_graph import TemporalGraph
 from ..rng import stream
 from .config import TGAEConfig
+from .embed_cache import EmbeddingCache, dirty_temporal_nodes, graph_token
 from .engine import (
     GenerationEngine,
     TopKScores,
@@ -29,7 +30,6 @@ from .engine import (
 )
 from .model import TGAEModel
 from .parallel import WorkerPool
-from .sampler import EgoGraphSampler
 from .trainer import TrainingHistory, TrainingState, train_tgae
 
 EdgeBatch = Union[TemporalGraph, np.ndarray, Tuple[Sequence[int], Sequence[int], Sequence[int]]]
@@ -91,6 +91,11 @@ class TGAEGenerator(TemporalGraphGenerator):
         self.train_state: Optional[TrainingState] = None
         self._node_features: Optional[np.ndarray] = None
         self._pool: Optional[WorkerPool] = None
+        #: Persistent inference plumbing: one engine per (model, graph)
+        #: pair, and one embedding cache surviving engine rebuilds so
+        #: appends can invalidate incrementally instead of recomputing.
+        self._engine: Optional[GenerationEngine] = None
+        self._embed_cache: Optional[EmbeddingCache] = None
 
     def fit(
         self,
@@ -125,6 +130,7 @@ class TGAEGenerator(TemporalGraphGenerator):
     # Fitting
     # ------------------------------------------------------------------
     def _fit(self, graph: TemporalGraph) -> None:
+        self._engine = None
         rng = np.random.default_rng(self.config.seed)
         feature_dim = (
             self._node_features.shape[-1] if self._node_features is not None else 0
@@ -170,7 +176,11 @@ class TGAEGenerator(TemporalGraphGenerator):
         ``epochs`` epochs (default ``config.epochs``) from the current
         weights, optimizer moments and RNG position (:attr:`train_state`),
         exactly as if the run had never stopped.  With ``new_edges=None``
-        this is a pure resume -- the ``fit --resume`` path.
+        this is a pure resume -- the ``fit --resume`` path.  ``epochs=0``
+        is the *ingest-only* refresh: the edges are appended and the
+        inference plumbing updated, but no training step runs -- the
+        serve-time path for a daemon absorbing observations between
+        retrains.
 
         Generators restored from weights-only (format-v1) checkpoints have
         no :attr:`train_state`; they warm-start the weights but run a cold
@@ -179,7 +189,14 @@ class TGAEGenerator(TemporalGraphGenerator):
         The next pooled dispatch after an append republishes the
         shared-memory graph segment automatically: the structure fingerprint
         (``_engine_token``) covers the edge arrays, so the stale segment is
-        rebuilt exactly once and then cached again.
+        rebuilt exactly once and then cached again.  The inference
+        embedding cache is *not* flushed by an append: only the rows within
+        the encoder's ego-radius of a new edge
+        (:func:`~repro.core.embed_cache.dirty_temporal_nodes`) are dropped,
+        and the surviving rows keep serving hits under the post-append
+        graph fingerprint.  (Training epochs change the weights, so any
+        ``epochs > 0`` update flushes the cache loudly through its weights
+        token on the next call.)
         """
         if self.model is None or self._observed is None:
             raise NotFittedError("update() requires a fitted generator")
@@ -189,12 +206,28 @@ class TGAEGenerator(TemporalGraphGenerator):
             observed = observed.appended(
                 new_src, new_dst, new_t, num_timestamps=observed.num_timestamps
             )
+            cache = self._embed_cache
+            if cache is not None and cache.tokens_set:
+                cache.invalidate_rows(
+                    dirty_temporal_nodes(
+                        observed, new_src, new_dst, new_t,
+                        radius=self.config.radius,
+                        time_window=self.config.time_window,
+                    ),
+                    graph=graph_token(
+                        observed, self.config,
+                        self.model.encoder._external_features,
+                    ),
+                )
+        self._observed = observed
+        self._engine = None
+        if epochs is not None and int(epochs) == 0:
+            return self
         config = (
             self.config
             if epochs is None
             else dataclasses.replace(self.config, epochs=int(epochs))
         )
-        self._observed = observed
         self.history = train_tgae(
             self.model, observed, config,
             verbose=verbose,
@@ -269,11 +302,49 @@ class TGAEGenerator(TemporalGraphGenerator):
     # Generation (Sec. IV-G, streaming)
     # ------------------------------------------------------------------
     def engine(self) -> GenerationEngine:
-        """The streaming generation engine over the fitted model."""
+        """The streaming generation engine over the fitted model.
+
+        Cached per ``(model, graph)`` pair: repeated ``generate`` /
+        ``score_topk`` calls reuse one engine (and with it the memoised
+        active-centre triple and the warm embedding cache) until a refit
+        or an append swaps the underlying graph/model.  When
+        ``config.embed_cache`` is on, the engine carries the generator's
+        persistent :class:`~repro.core.embed_cache.EmbeddingCache`.
+        """
         graph = self.observed  # raises NotFittedError before fit
         if self.model is None:
             raise GenerationError("internal error: model missing after fit")
-        return GenerationEngine(self.model, graph, self.config)
+        if self._engine is None or self._engine.graph is not graph:
+            cache = None
+            if self.config.embed_cache:
+                rows = graph.num_nodes * graph.num_timestamps
+                cache = self._embed_cache
+                if (
+                    cache is None
+                    or cache.rows.shape != (rows, self.config.hidden_dim)
+                    or cache.rows.dtype != self.config.np_dtype
+                ):
+                    cache = EmbeddingCache(
+                        rows, self.config.hidden_dim, dtype=self.config.np_dtype
+                    )
+                self._embed_cache = cache
+            self._engine = GenerationEngine(
+                self.model, graph, self.config, cache=cache
+            )
+        return self._engine
+
+    def cache_stats(self) -> Optional[dict]:
+        """Embedding-cache counters (hits, encodes, flushes, invalidations).
+
+        The health-style report for the inference cache: ``hit_rows`` /
+        ``encoded_rows`` / ``encode_calls`` measure encoder work skipped
+        vs done, ``flushes`` (+ ``weight_flushes`` / ``graph_flushes``)
+        count loud version resets, ``invalidated_rows`` the rows dropped by
+        incremental appends.  ``None`` when the cache is disabled or the
+        generator has never built an engine.
+        """
+        cache = self._embed_cache
+        return None if cache is None else dict(cache.stats)
 
     def _generation_rng(self, seed: Optional[int]) -> np.random.Generator:
         """The generation stream: explicit seed, or the named default stream."""
@@ -352,8 +423,6 @@ class TGAEGenerator(TemporalGraphGenerator):
             raise GenerationError("generator is not fitted")
         graph = self.observed
         stamps = timestamps if timestamps is not None else list(range(graph.num_timestamps))
-        rng = stream(self.config.seed, "tgae", "score-matrix")
-        sampler = EgoGraphSampler(graph, self.config, rng)
         engine = self.engine()
         scores = np.zeros((graph.num_nodes, len(stamps), graph.num_nodes))
         self.model.eval()
@@ -361,5 +430,5 @@ class TGAEGenerator(TemporalGraphGenerator):
             centers = np.stack(
                 [np.arange(graph.num_nodes), np.full(graph.num_nodes, timestamp)], axis=1
             )
-            scores[:, j, :] = engine.dense_score_rows(centers, sampler)
+            scores[:, j, :] = engine.dense_score_rows(centers)
         return scores

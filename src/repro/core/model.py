@@ -6,6 +6,7 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..autograd import Tensor, no_grad
 from ..graph.bipartite import BipartiteBatch, PackedEgoBatch
 from ..nn import Module
 from .config import TGAEConfig
@@ -86,3 +87,52 @@ class TGAEModel(Module):
         return self.decoder(
             center_hidden, center_features, sample=sample, noise_rng=noise_rng
         )
+
+    # ------------------------------------------------------------------
+    # Inference-path encode/decode split (embedding cache hot path)
+    # ------------------------------------------------------------------
+    def encode_inference(
+        self, batch: Union[BipartiteBatch, PackedEgoBatch]
+    ) -> np.ndarray:
+        """Encoder half of the inference forward: centre embeddings as an array.
+
+        Runs the same encoder invocation :meth:`forward` would (packed
+        ego-parallel or merged bipartite, by batch type) under ``no_grad``
+        and returns the ``(batch, hidden)`` embedding matrix.  Composing it
+        with :meth:`decode_from_embeddings` is bitwise-identical to
+        ``self(batch, sample=False)`` — the split only exposes the seam the
+        embedding cache stores rows across.
+        """
+        with no_grad():
+            if isinstance(batch, PackedEgoBatch):
+                hidden = self.encoder.encode_batch(batch)
+            else:
+                hidden = self.encoder.encode_centers(batch)
+        return hidden.numpy()
+
+    def decode_from_embeddings(
+        self,
+        embeddings: np.ndarray,
+        centers: np.ndarray,
+        candidates: Optional[np.ndarray] = None,
+    ):
+        """Decoder half of the inference forward, from cached embeddings.
+
+        ``embeddings`` is a ``(batch, hidden)`` matrix as produced by
+        :meth:`encode_inference` (possibly assembled row-by-row from the
+        embedding cache), ``centers`` the matching ``(batch, 2)`` temporal
+        nodes ``(u, t)`` whose identity/time features the decoder input
+        concatenates, ``candidates`` the optional sampled-softmax sets.
+        Always the deterministic posterior-mean path (``sample=False``) —
+        cache hits must not consume RNG.
+        """
+        with no_grad():
+            center_hidden = Tensor(np.asarray(embeddings))
+            center_features = self.encoder.node_features(
+                np.asarray(centers, dtype=np.int64)
+            )
+            if candidates is not None:
+                return self.decoder.forward_candidates(
+                    center_hidden, center_features, candidates, sample=False
+                )
+            return self.decoder(center_hidden, center_features, sample=False)

@@ -377,6 +377,13 @@ class ShmWorkerPayload:
     engine from zero-copy views; afterwards each task message carries only
     a parameter *version* -- when it advances, the worker reloads weights
     from the (in-place updated) parameter segment.
+
+    ``embed`` (optional) is the parent's inference embedding cache
+    published as a third segment: workers attach it *read-only* and decode
+    straight from parent-computed rows instead of re-encoding per chunk.
+    The segment embeds its own weights/graph token, so a worker whose
+    locally-derived fingerprints disagree treats it as a miss and encodes
+    ephemerally -- stale segments degrade, never corrupt.
     """
 
     config: TGAEConfig
@@ -386,6 +393,7 @@ class ShmWorkerPayload:
     graph: ShmHandle
     params: ShmHandle
     version: int
+    embed: Optional[ShmHandle] = None
 
 
 def _shm_graph_arrays(engine: Any) -> Dict[str, np.ndarray]:
@@ -527,14 +535,21 @@ def _init_worker_shm(payload: ShmWorkerPayload) -> None:
     in-flight forwards.
     """
     global _WORKER_ENGINE, _WORKER_PARAM_VIEWS, _WORKER_PARAM_VERSION
+    from .embed_cache import EmbeddingCache
     from .engine import GenerationEngine
     from .model import TGAEModel
 
     graph_shm, graph_views = attach_shared_arrays(payload.graph)
     param_shm, param_views = attach_shared_arrays(payload.params)
+    attachments = [graph_shm, param_shm]
+    cache = None
+    if payload.embed is not None:
+        embed_shm, embed_views = attach_shared_arrays(payload.embed)
+        attachments.append(embed_shm)
+        cache = EmbeddingCache.attached(embed_views)
     if not _WORKER_SHM:
         atexit.register(_release_worker_attachments)
-    _WORKER_SHM[:] = [graph_shm, param_shm]
+    _WORKER_SHM[:] = attachments
     graph = TemporalGraph(
         payload.num_nodes,
         graph_views["src"],
@@ -556,7 +571,7 @@ def _init_worker_shm(payload: ShmWorkerPayload) -> None:
     if "external_features" in graph_views:
         model.encoder.set_external_features(graph_views["external_features"])
     model.eval()
-    _WORKER_ENGINE = GenerationEngine(model, graph, payload.config)
+    _WORKER_ENGINE = GenerationEngine(model, graph, payload.config, cache=cache)
     _WORKER_PARAM_VIEWS = param_views
     _WORKER_PARAM_VERSION = payload.version
 
@@ -603,6 +618,10 @@ def _run_remote_shm(kind: str, version: int, task: Any, attempt: int = 0) -> Any
         if _WORKER_PARAM_VIEWS is None:
             raise RuntimeError("worker has no attached parameter segment")
         engine.model.load_state_dict(dict(_WORKER_PARAM_VIEWS))
+        # New weights invalidate the memoised fingerprint the attached
+        # embedding cache is validated against (recomputed lazily, once
+        # per version, on the next cache consult).
+        engine._weights_token = None
         _WORKER_PARAM_VERSION = version
     return _run_on(engine, kind, task)
 
@@ -788,6 +807,8 @@ class WorkerPool:
             "redispatches": 0,
             "worker_crashes": 0,
             "stragglers_verified": 0,
+            "embed_publishes": 0,
+            "embed_updates": 0,
             "degrades": [],
         }
         #: Final ladder rung: no executor at all, shards run in-process.
@@ -804,6 +825,9 @@ class WorkerPool:
         self._stores: Dict[str, SharedArrayStore] = {}
         self._param_version = 0
         self._param_token: Optional[str] = None
+        #: Mutation counter of the engine cache behind the live embed
+        #: segment at last sync; ``None`` when no embed segment is live.
+        self._embed_mutation: Optional[int] = None
         #: (weakref-to-engine, token) cache: the structure token is constant
         #: for an engine's lifetime, so a whole training run hashes the
         #: graph arrays once instead of once per epoch.
@@ -848,6 +872,8 @@ class WorkerPool:
         ``worker_crashes`` count recovered incidents, and
         ``stragglers_verified`` counts abandoned originals that finished
         anyway and were bit-compared against their re-dispatched twin.
+        ``embed_publishes`` / ``embed_updates`` count inference
+        embedding-cache segment creations and in-place mirror syncs.
         """
         report: Dict[str, Any] = {
             "pool_id": self.pool_id,
@@ -938,13 +964,24 @@ class WorkerPool:
         return None
 
     def _token_for(self, engine: Any, kind: str) -> str:
-        """The staleness token for ``engine``, with the structure flavour cached."""
+        """The staleness token for ``engine``, with the structure flavour cached.
+
+        Engines carrying a writable embedding cache get a distinct token
+        suffix: their shm executors own a third (embed) segment, so a
+        cache-less engine must not inherit an executor whose workers would
+        look for one (and vice versa).  Switching between cached and
+        uncached engines on one pool therefore rebuilds the executor once
+        per switch -- the same cost as any other structure change.
+        """
         include_state = kind != "train"
         if not include_state and self._structure_cache is not None:
             ref, token = self._structure_cache
             if ref() is engine:
                 return token
         token = _engine_token(engine, include_state=include_state)
+        cache = getattr(engine, "cache", None)
+        if cache is not None and getattr(cache, "writable", False):
+            token += "+embed"
         if not include_state:
             self._structure_cache = (weakref.ref(engine), token)
         return token
@@ -1019,6 +1056,7 @@ class WorkerPool:
             if state != self._param_token:
                 self._update_params_locked(engine)
                 self._param_token = state
+            self._sync_embed_locked(engine)
 
     def _ensure_pickle_executor_locked(self, engine: Any, kind: str) -> None:
         """Make the pickled-payload executor current; caller holds the lock."""
@@ -1192,14 +1230,21 @@ class WorkerPool:
             self._health["stragglers_verified"] += 1
 
     def _publish_engine_locked(self, engine: Any) -> ShmWorkerPayload:
-        """Create fresh graph/parameter segments and the handle payload."""
-        graph_store = SharedArrayStore(_shm_graph_arrays(engine))
+        """Create fresh graph/parameter(/embed) segments and the handle payload."""
+        stores: Dict[str, SharedArrayStore] = {}
         try:
-            param_store = SharedArrayStore(_shm_param_arrays(engine))
+            stores["graph"] = SharedArrayStore(_shm_graph_arrays(engine))
+            stores["params"] = SharedArrayStore(_shm_param_arrays(engine))
+            cache = getattr(engine, "cache", None)
+            if cache is not None and getattr(cache, "writable", False):
+                stores["embed"] = SharedArrayStore(cache.share_arrays())
+                self._embed_mutation = cache.mutations
+                self._health["embed_publishes"] += 1
         except Exception:
-            graph_store.close()
+            for store in stores.values():
+                store.close()
             raise
-        self._stores = {"graph": graph_store, "params": param_store}
+        self._stores = stores
         self._param_version += 1
         external = engine.model.encoder._external_features
         payload = ShmWorkerPayload(
@@ -1207,14 +1252,34 @@ class WorkerPool:
             num_nodes=engine.graph.num_nodes,
             num_timestamps=engine.graph.num_timestamps,
             feature_dim=external.shape[-1] if external is not None else 0,
-            graph=graph_store.handle,
-            params=param_store.handle,
+            graph=stores["graph"].handle,
+            params=stores["params"].handle,
             version=self._param_version,
+            embed=stores["embed"].handle if "embed" in stores else None,
         )
         if self.track_dispatch:
             self.dispatch_stats["payload_bytes"] += _pickled_bytes(payload)
             self.dispatch_stats["payload_publishes"] += 1
         return payload
+
+    def _sync_embed_locked(self, engine: Any) -> None:
+        """Mirror the parent's embedding cache into its shared segment.
+
+        An in-place segment rewrite, gated on the cache's monotone
+        ``mutations`` counter: an all-hit dispatch (the warm steady state)
+        costs zero copies, and only prefills/invalidations/flushes since
+        the last sync trigger one.  Workers validate the segment's embedded
+        token per chunk, so the update is always observed consistently.
+        """
+        store = self._stores.get("embed")
+        cache = getattr(engine, "cache", None)
+        if store is None or cache is None or not getattr(cache, "writable", False):
+            return
+        if cache.mutations == self._embed_mutation:
+            return
+        store.update(cache.share_arrays())
+        self._embed_mutation = cache.mutations
+        self._health["embed_updates"] += 1
 
     def _update_params_locked(self, engine: Any) -> None:
         """Rewrite the parameter segment in place and advance the version."""
@@ -1365,6 +1430,7 @@ class WorkerPool:
             store.close()
         self._stores = {}
         self._param_token = None
+        self._embed_mutation = None
         self._param_version += 1
 
     def _shutdown_process_executor_locked(self) -> None:

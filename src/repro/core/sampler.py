@@ -18,8 +18,14 @@ from ..graph.bipartite import (
     build_bipartite_batch,
     pack_ego_batch,
 )
-from ..graph.ego_graph import EgoGraph, ego_graph_batch, sample_initial_nodes
+from ..graph.ego_graph import (
+    EgoGraph,
+    ego_graph_batch,
+    sample_ego_graph,
+    sample_initial_nodes,
+)
 from ..graph.temporal_graph import TemporalGraph
+from ..rng import stream
 from .config import TGAEConfig
 from .loss import adjacency_target_rows
 
@@ -80,14 +86,17 @@ class EgoGraphSampler:
         TGAE hyper-parameters (radius, threshold, window, ``n_s`` and the
         TGAE-n uniform-sampling switch).
     rng:
-        Random generator driving both initial-node and neighbour sampling.
+        Random generator driving initial-node and *training* neighbour
+        sampling.  May be ``None`` for inference-only samplers:
+        :meth:`inference_batch` draws from named per-centre streams and
+        never consumes it.
     """
 
     def __init__(
         self,
         graph: TemporalGraph,
         config: TGAEConfig,
-        rng: np.random.Generator,
+        rng: Optional[np.random.Generator] = None,
     ) -> None:
         self.graph = graph
         self.config = config
@@ -167,15 +176,29 @@ class EgoGraphSampler:
         this skips the adjacency-row and training-candidate assembly that
         :meth:`batch_for_centers` performs (the generation engine builds its
         own inference candidate sets from the partner CSR).
+
+        Unlike training sampling, each centre's truncation draws come from
+        its own *named* stream ``(seed, "tgae", "infer-ego", u, t)`` rather
+        than from :attr:`rng` (which is not consumed): the inference
+        ego-graph of a temporal node — and hence its encoder embedding —
+        is a pure function of ``(weights, graph, config)``, independent of
+        which call, chunk or batch requested it.  That purity is what the
+        inference embedding cache (:mod:`repro.core.embed_cache`) and its
+        canonical encode tiles rest on.
         """
-        egos = ego_graph_batch(
-            self.graph,
-            centers,
-            radius=self.config.radius,
-            threshold=self.config.neighbor_threshold,
-            time_window=self.config.time_window,
-            rng=self.rng,
-        )
+        centers = np.asarray(centers, dtype=np.int64)
+        config = self.config
+        egos = [
+            sample_ego_graph(
+                self.graph,
+                (int(node), int(timestamp)),
+                radius=config.radius,
+                threshold=config.neighbor_threshold,
+                time_window=config.time_window,
+                rng=stream(config.seed, "tgae", "infer-ego", int(node), int(timestamp)),
+            )
+            for node, timestamp in centers
+        ]
         return TrainingBatch(centers=centers, target_rows=[], egos=egos)
 
     def next_batch(self) -> TrainingBatch:

@@ -42,12 +42,18 @@ from repro.graph import TemporalGraph, validate_generated
 # (t, src, dst) triples.  Captured under the sharded-trainer RNG scheme
 # (per-epoch centre streams + per-shard spawned children driving ego
 # sampling, candidate negatives and decoder noise -- the scheme that makes
-# training bit-identical for every worker count); any unintended change to
-# training draws, shard partitioning, chunking, or stream derivation shows
-# up here as a mismatch.
+# training bit-identical for every worker count); recaptured when inference
+# ego sampling moved off the per-chunk task stream onto named per-centre
+# streams (``(seed, "tgae", "infer-ego", u, t)``) for the versioned
+# embedding cache -- embeddings became pure functions of (weights, graph,
+# config), so the chunk stream now drives only candidate negatives and
+# Gumbel noise.  Any unintended change to training draws, shard
+# partitioning, chunking, or stream derivation shows up here as a
+# mismatch, and the constants are additionally pinned cache-on == cache-off
+# by ``tests/test_embed_cache.py``.
 GOLDEN_DENSE = {
-    0: "ee0ae0b1f7d16d72650a94ae28e2e399866d121e858de29f2be9e497e28fd59b",
-    7: "025c3690a8bd6c0da02edc83586d6710b3c065a662db32a242d3cf866d26a277",
+    0: "743c31a032571595b37dd424fce3edf34f5e1ae174fe87dfb20061d5574f97b5",
+    7: "d8a000fdcd5763c1d45d7a66396106b47e49f5ec9b2e08a04ee2a8d3f6125284",
 }
 
 
